@@ -1,0 +1,310 @@
+package cdfpoison
+
+import (
+	"io"
+
+	"cdfpoison/internal/blackbox"
+	"cdfpoison/internal/btree"
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/defense"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/nn"
+	"cdfpoison/internal/pla"
+	"cdfpoison/internal/regression"
+	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/xrand"
+)
+
+// ---------------------------------------------------------------------------
+// Key sets
+// ---------------------------------------------------------------------------
+
+// KeySet is an immutable, sorted, duplicate-free set of non-negative integer
+// keys — the index's training data.
+type KeySet = keys.Set
+
+// Gap is a maximal run of unoccupied interior keys, the feasible region for
+// poisoning insertions.
+type Gap = keys.Gap
+
+// NewKeySet builds a KeySet from arbitrary input, sorting and deduplicating.
+func NewKeySet(input []int64) (KeySet, error) { return keys.New(input) }
+
+// NewKeySetStrict is NewKeySet but rejects duplicate keys.
+func NewKeySetStrict(input []int64) (KeySet, error) { return keys.NewStrict(input) }
+
+// ReadKeysText parses one decimal key per line ('#' comments allowed).
+func ReadKeysText(r io.Reader) (KeySet, error) { return keys.ReadText(r) }
+
+// ReadKeysBinary reads the compact binary key format.
+func ReadKeysBinary(r io.Reader) (KeySet, error) { return keys.ReadBinary(r) }
+
+// ---------------------------------------------------------------------------
+// Randomness and datasets
+// ---------------------------------------------------------------------------
+
+// RNG is the deterministic random generator used across the library.
+type RNG = xrand.RNG
+
+// NewRNG returns a deterministic generator for the seed.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// UniformKeys draws n unique keys uniformly from [0, m).
+func UniformKeys(rng *RNG, n int, m int64) (KeySet, error) { return dataset.Uniform(rng, n, m) }
+
+// NormalKeys draws n unique keys from the paper's truncated normal over
+// [0, m) (mean m/2, stddev m/3 — the Figure 8 workload).
+func NormalKeys(rng *RNG, n int, m int64) (KeySet, error) { return dataset.Normal(rng, n, m) }
+
+// LogNormalKeys draws n unique keys whose continuous law is log-normal with
+// log-space parameters (mu, sigma) scaled into [0, m) — the paper's skewed
+// synthetic workload uses mu=0, sigma=2.
+func LogNormalKeys(rng *RNG, n int, m int64, mu, sigma float64) (KeySet, error) {
+	return dataset.LogNormal(rng, n, m, mu, sigma)
+}
+
+// MiamiSalaries simulates the paper's Miami-Dade salary dataset (n=5,300
+// unique salaries in [22,733, 190,034]).
+func MiamiSalaries(rng *RNG) (KeySet, error) { return dataset.MiamiSalaries(rng) }
+
+// OSMLatitudes simulates the paper's OpenStreetMap school-latitude dataset
+// (n=302,973 keys in [0, 1,200,000)).
+func OSMLatitudes(rng *RNG) (KeySet, error) { return dataset.OSMLatitudes(rng) }
+
+// ---------------------------------------------------------------------------
+// Linear regression on CDFs (the model under attack)
+// ---------------------------------------------------------------------------
+
+// Line is a fitted line rank ≈ W·key + B.
+type Line = regression.Line
+
+// Model is a fitted CDF regression with its in-sample MSE.
+type Model = regression.Model
+
+// FitCDF fits the least-squares line through (key, rank) — Theorem 1's
+// closed form, computed with translation-stable centered moments.
+func FitCDF(ks KeySet) (Model, error) { return regression.FitCDF(ks) }
+
+// EvaluateCDF scores an arbitrary line against a key set's CDF (mean squared
+// error over ranks 1..n).
+func EvaluateCDF(l Line, ks KeySet) (float64, error) { return regression.EvaluateCDF(l, ks) }
+
+// ---------------------------------------------------------------------------
+// Poisoning attacks (the paper's contribution)
+// ---------------------------------------------------------------------------
+
+// SinglePointResult reports an optimal single-key poisoning.
+type SinglePointResult = core.SinglePointResult
+
+// GreedyResult reports a greedy multi-point poisoning (Algorithm 1).
+type GreedyResult = core.GreedyResult
+
+// LossPoint is one entry of the loss sequence L(kp).
+type LossPoint = core.LossPoint
+
+// RMIAttackOptions parameterizes the two-stage RMI attack (Algorithm 2).
+type RMIAttackOptions = core.RMIAttackOptions
+
+// RMIAttackResult reports the RMI attack outcome.
+type RMIAttackResult = core.RMIAttackResult
+
+// ModelReport describes one second-stage model after the RMI attack.
+type ModelReport = core.ModelReport
+
+// ErrNoGap and ErrTooFew are the attack feasibility errors.
+var (
+	ErrNoGap  = core.ErrNoGap
+	ErrTooFew = core.ErrTooFew
+)
+
+// OptimalSinglePoint finds the poisoning key maximizing the retrained MSE in
+// O(n), evaluating only gap endpoints (Theorem 2).
+func OptimalSinglePoint(ks KeySet) (SinglePointResult, error) { return core.OptimalSinglePoint(ks) }
+
+// BruteForceSinglePoint evaluates every unoccupied interior key — the
+// correctness oracle and ablation baseline for OptimalSinglePoint.
+func BruteForceSinglePoint(ks KeySet) (SinglePointResult, error) {
+	return core.BruteForceSinglePoint(ks)
+}
+
+// GreedyMultiPoint inserts up to p poisoning keys, each locally optimal
+// (Algorithm 1); it stops early if the domain saturates or no insertion can
+// increase the loss.
+func GreedyMultiPoint(ks KeySet, p int) (GreedyResult, error) { return core.GreedyMultiPoint(ks, p) }
+
+// LossSequence evaluates the poisoned loss for every feasible poisoning key
+// (the Figure 3 curve); the second result is the clean loss.
+func LossSequence(ks KeySet) ([]LossPoint, float64, error) { return core.LossSequence(ks) }
+
+// RMIAttack poisons the second stage of a two-stage RMI (Algorithm 2):
+// greedy volume allocation across models under a per-model threshold.
+func RMIAttack(ks KeySet, opts RMIAttackOptions) (RMIAttackResult, error) {
+	return core.RMIAttack(ks, opts)
+}
+
+// RemovalResult reports an optimal single-key removal attack.
+type RemovalResult = core.RemovalResult
+
+// GreedyRemovalResult reports a greedy multi-key removal attack.
+type GreedyRemovalResult = core.GreedyRemovalResult
+
+// OptimalSingleRemoval finds the stored key whose deletion maximizes the
+// retrained MSE in O(n) — the deletion adversary the paper lists as future
+// work (Section VI).
+func OptimalSingleRemoval(ks KeySet) (RemovalResult, error) {
+	return core.OptimalSingleRemoval(ks)
+}
+
+// GreedyRemoval deletes up to p keys, each locally optimal, stopping early
+// when no deletion can increase the loss.
+func GreedyRemoval(ks KeySet, p int) (GreedyRemovalResult, error) {
+	return core.GreedyRemoval(ks, p)
+}
+
+// ModificationResult reports a greedy multi-modification attack.
+type ModificationResult = core.ModificationResult
+
+// GreedyModification applies up to p key modifications (one deletion plus
+// one insertion each, keeping the key count constant) — the third adversary
+// capability the paper's Section VI anticipates.
+func GreedyModification(ks KeySet, p int) (ModificationResult, error) {
+	return core.GreedyModification(ks, p)
+}
+
+// PredictionOracle is query access to a deployed index's raw position
+// predictions — the observable of the black-box threat model.
+type PredictionOracle = blackbox.Oracle
+
+// BlackBoxInference is the recovered second-stage architecture.
+type BlackBoxInference = blackbox.InferenceResult
+
+// BlackBoxAttackResult couples inference with the mounted attack.
+type BlackBoxAttackResult = blackbox.AttackResult
+
+// InferSecondStage recovers a deployed RMI's second-stage models (fanout,
+// boundaries, and each linear model's parameters) from one prediction probe
+// per known key — the black-box variant the paper sketches in Section VI.
+func InferSecondStage(o PredictionOracle, known KeySet) (BlackBoxInference, error) {
+	return blackbox.InferSecondStage(o, known)
+}
+
+// BlackBoxRMIAttack infers the architecture through the oracle and mounts
+// Algorithm 2 against it; opts.NumModels is overridden by the inference.
+func BlackBoxRMIAttack(o PredictionOracle, known KeySet, opts RMIAttackOptions) (BlackBoxAttackResult, error) {
+	return blackbox.Attack(o, known, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Index substrates
+// ---------------------------------------------------------------------------
+
+// Index is the two-stage recursive model index.
+type Index = rmi.Index
+
+// RMIConfig configures BuildRMI.
+type RMIConfig = rmi.Config
+
+// RootKind selects the RMI's stage-1 model.
+type RootKind = rmi.RootKind
+
+// Stage-1 model kinds.
+const (
+	RootPerfect = rmi.RootPerfect
+	RootLinear  = rmi.RootLinear
+	RootNN      = rmi.RootNN
+)
+
+// NNConfig configures stage-1 neural-network training.
+type NNConfig = nn.Config
+
+// LookupResult reports an index point query.
+type LookupResult = rmi.LookupResult
+
+// IndexStats summarizes an index's lookup-cost structure.
+type IndexStats = rmi.Stats
+
+// BuildRMI constructs a two-stage RMI over the key set.
+func BuildRMI(ks KeySet, cfg RMIConfig) (*Index, error) { return rmi.Build(ks, cfg) }
+
+// ReadRMIBinary deserializes an index previously saved with
+// (*Index).WriteBinary; the loaded index answers queries identically.
+func ReadRMIBinary(r io.Reader) (*Index, error) { return rmi.ReadBinary(r) }
+
+// PLAIndex is an error-bounded piecewise-linear learned index (the
+// FITing-tree / PGM-index family). Against it, CDF poisoning surfaces as
+// segment-count (memory) inflation rather than lookup error.
+type PLAIndex = pla.Index
+
+// BuildPLA constructs a piecewise-linear index with the given guaranteed
+// error bound epsilon (the fewest one-pass greedy segments).
+func BuildPLA(ks KeySet, epsilon int) (*PLAIndex, error) { return pla.Build(ks, epsilon) }
+
+// ReadPLABinary deserializes an index previously saved with
+// (*PLAIndex).WriteBinary.
+func ReadPLABinary(r io.Reader) (*PLAIndex, error) { return pla.ReadBinary(r) }
+
+// PLAInflationResult reports the segment-inflation attack outcome.
+type PLAInflationResult = pla.InflationResult
+
+// PLAInflationAttack injects up to budget keys to maximize the number of
+// ε-bounded segments a rebuild needs — the attack objective that actually
+// transfers to PGM/FITing-tree-style indexes (see EXPERIMENTS.md, Ext. F).
+func PLAInflationAttack(ks KeySet, budget, epsilon int) (PLAInflationResult, error) {
+	return pla.InflationAttack(ks, budget, epsilon)
+}
+
+// Quad is a fitted quadratic CDF model; QuadModel adds its loss.
+type Quad = regression.Quad
+
+// QuadModel is the result of a quadratic CDF fit.
+type QuadModel = regression.QuadModel
+
+// FitQuadCDF fits rank ≈ a·k² + b·k + c on the key set's CDF — the "more
+// complex second-stage model" mitigation the paper's Discussion weighs.
+func FitQuadCDF(ks KeySet) (QuadModel, error) { return regression.FitQuadCDF(ks) }
+
+// BTree is the traditional baseline index.
+type BTree = btree.Tree
+
+// NewBTree returns an empty B-Tree of the given minimum degree.
+func NewBTree(degree int) (*BTree, error) { return btree.New(degree) }
+
+// BuildBTree bulk-loads a B-Tree from keys.
+func BuildBTree(degree int, ks []int64) (*BTree, error) { return btree.Bulk(degree, ks) }
+
+// ---------------------------------------------------------------------------
+// Defenses
+// ---------------------------------------------------------------------------
+
+// TrimOptions tunes the TRIM defense.
+type TrimOptions = defense.TrimOptions
+
+// TrimResult reports the TRIM defense outcome.
+type TrimResult = defense.TrimResult
+
+// DefenseEval quantifies a defense against ground truth.
+type DefenseEval = defense.Eval
+
+// TrimDefense runs TRIM adapted to CDFs: iteratively keep the cleanCount
+// best-fitting keys, re-ranking the candidate subset on every round.
+func TrimDefense(poisoned KeySet, cleanCount int, opts TrimOptions) (TrimResult, error) {
+	return defense.TrimCDF(poisoned, cleanCount, opts)
+}
+
+// EvaluateDefense scores flagged keys against the known poison set.
+func EvaluateDefense(clean, poison, flagged, kept KeySet) (DefenseEval, error) {
+	return defense.Evaluate(clean, poison, flagged, kept)
+}
+
+// RangeFilter drops keys outside [lo, hi] — the sanitizer the attack's
+// interior-only keys are designed to evade.
+func RangeFilter(ks KeySet, lo, hi int64) (kept, removed KeySet) {
+	return defense.RangeFilter(ks, lo, hi)
+}
+
+// DensityFlagger flags keys in abnormally dense neighbourhoods (local
+// density more than zThreshold standard deviations above the mean).
+func DensityFlagger(ks KeySet, window int, zThreshold float64) KeySet {
+	return defense.DensityFlagger(ks, window, zThreshold)
+}

@@ -1,0 +1,369 @@
+// Benchmarks regenerating every figure of the paper's evaluation (see
+// DESIGN.md §3 for the experiment index) plus micro-benchmarks of the
+// primitives. Figure benches run at quick scale so `go test -bench=.`
+// finishes in minutes; `cmd/lisbench` runs the full default-scale sweeps
+// and writes CSV/ASCII output.
+//
+// Custom metrics: figure benches report the headline ratio losses via
+// b.ReportMetric (suffix "ratio"), so the measured amplification appears in
+// the benchmark output next to ns/op.
+package cdfpoison_test
+
+import (
+	"testing"
+
+	"cdfpoison"
+	"cdfpoison/internal/bench"
+)
+
+func quickOpts(seed uint64) bench.Options {
+	return bench.Options{Scale: bench.ScaleQuick, Seed: seed}
+}
+
+// BenchmarkFig2SinglePointCompound regenerates Figure 2: one optimal
+// poisoning key against a 10-key uniform CDF.
+func BenchmarkFig2SinglePointCompound(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig2(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Ratio
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchmarkFig3LossSequence regenerates Figure 3: the loss sequence and its
+// discrete derivative over the whole key space.
+func BenchmarkFig3LossSequence(b *testing.B) {
+	var points float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig3(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = float64(len(res.Sequence))
+	}
+	b.ReportMetric(points, "candidates")
+}
+
+// BenchmarkFig4Greedy90Keys regenerates Figure 4: 10 greedy poisoning keys
+// against 90 uniform keys (paper: 7.4× error increase).
+func BenchmarkFig4Greedy90Keys(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig4(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Ratio
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// BenchmarkFig5UniformRegression regenerates Figure 5: the multi-point
+// poisoning sweep over uniform key sets (paper: ratios up to ~100×).
+func BenchmarkFig5UniformRegression(b *testing.B) {
+	var maxMedian float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RegressionGrid(bench.DistUniform, quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxMedian = res.MaxMedianRatio()
+	}
+	b.ReportMetric(maxMedian, "max-median-ratio")
+}
+
+// BenchmarkFig8NormalRegression regenerates Figure 8: the same sweep under
+// the normal key distribution (paper: ratios up to ~8×).
+func BenchmarkFig8NormalRegression(b *testing.B) {
+	var maxMedian float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RegressionGrid(bench.DistNormal, quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxMedian = res.MaxMedianRatio()
+	}
+	b.ReportMetric(maxMedian, "max-median-ratio")
+}
+
+// BenchmarkFig6RMISynthetic regenerates Figure 6: Algorithm 2 against
+// uniform and log-normal RMIs (paper: RMI ratio up to 300×, individual
+// models up to 3000×).
+func BenchmarkFig6RMISynthetic(b *testing.B) {
+	var rmiMax, modelMax float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RMISynthetic(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmiMax = res.MaxRMIRatio("")
+		modelMax = res.MaxModelRatioOverall("")
+	}
+	b.ReportMetric(rmiMax, "max-rmi-ratio")
+	b.ReportMetric(modelMax, "max-model-ratio")
+}
+
+// BenchmarkFig7RMIRealData regenerates Figure 7: the RMI attack on the two
+// simulated real-world datasets (paper: RMI ratios between 4× and 24×).
+func BenchmarkFig7RMIRealData(b *testing.B) {
+	for _, ds := range []bench.RealDataset{bench.DatasetSalaries, bench.DatasetOSM} {
+		b.Run(string(ds), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RealData(ds, quickOpts(42))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = res.MaxRMIRatio()
+			}
+			b.ReportMetric(ratio, "max-rmi-ratio")
+		})
+	}
+}
+
+// BenchmarkExtLookupDegradation measures Extension A: probe-count and
+// search-window degradation of the RMI after the attack.
+func BenchmarkExtLookupDegradation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.LookupDegradation(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = cells[0].PoisonedAvgWindow / cells[0].CleanAvgWindow
+	}
+	b.ReportMetric(gain, "window-gain")
+}
+
+// BenchmarkExtTrimDefense measures Extension C: the TRIM defense against the
+// CDF attack.
+func BenchmarkExtTrimDefense(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.TrimDefense(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = cells[len(cells)-1].Recall
+	}
+	b.ReportMetric(recall, "recall")
+}
+
+// BenchmarkAblationEndpointsVsBrute times the Theorem 2 endpoint enumeration
+// against the full-domain sweep on identical data (Ablation 1).
+func BenchmarkAblationEndpointsVsBrute(b *testing.B) {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 2000, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("endpoints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cdfpoison.OptimalSinglePoint(ks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cdfpoison.BruteForceSinglePoint(ks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVolumeAllocation compares Algorithm 2's greedy exchanges
+// with the fixed uniform split (Ablation 2).
+func BenchmarkAblationVolumeAllocation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.VolumeAllocation(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.GreedyRatio / res.UniformRatio
+	}
+	b.ReportMetric(gain, "exchange-gain")
+}
+
+// BenchmarkAblationAlpha sweeps the per-model poisoning threshold
+// (Ablation 3).
+func BenchmarkAblationAlpha(b *testing.B) {
+	var unbounded float64
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.AlphaSweep(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		unbounded = cells[len(cells)-1].RMIRatio
+	}
+	b.ReportMetric(unbounded, "ratio-at-alpha-inf")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the primitives.
+// ---------------------------------------------------------------------------
+
+func benchKeys(b *testing.B, n int, density float64) cdfpoison.KeySet {
+	b.Helper()
+	rng := cdfpoison.NewRNG(uint64(n))
+	ks, err := cdfpoison.UniformKeys(rng, n, int64(float64(n)/density))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ks
+}
+
+func BenchmarkFitCDF(b *testing.B) {
+	ks := benchKeys(b, 100_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdfpoison.FitCDF(ks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSinglePointAttack(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		ks := benchKeys(b, n, 0.2)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cdfpoison.OptimalSinglePoint(ks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyAttack10pct(b *testing.B) {
+	ks := benchKeys(b, 2_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdfpoison.GreedyMultiPoint(ks, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRMIBuild(b *testing.B) {
+	ks := benchKeys(b, 100_000, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRMILookup(b *testing.B) {
+	ks := benchKeys(b, 100_000, 0.2)
+	idx, err := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := ks.Keys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := idx.Lookup(raw[i%len(raw)])
+		if !r.Found {
+			b.Fatal("stored key not found")
+		}
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	ks := benchKeys(b, 100_000, 0.2)
+	bt, err := cdfpoison.BuildBTree(32, ks.Keys())
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := ks.Keys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, _ := bt.Get(raw[i%len(raw)])
+		if !found {
+			b.Fatal("stored key not found")
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt, err := cdfpoison.NewBTree(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(int64(i))
+	}
+}
+
+func BenchmarkRemovalAttack(b *testing.B) {
+	ks := benchKeys(b, 5_000, 0.2)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		g, err := cdfpoison.GreedyRemoval(ks, 250)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = g.RatioLoss()
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+func BenchmarkBlackBoxInference(b *testing.B) {
+	ks := benchKeys(b, 10_000, 0.2)
+	idx, err := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf, err := cdfpoison.InferSecondStage(idx, ks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if inf.NumModels() != 100 {
+			b.Fatalf("inferred %d models", inf.NumModels())
+		}
+	}
+}
+
+func BenchmarkTrimDefense1k(b *testing.B) {
+	rng := cdfpoison.NewRNG(42)
+	clean, err := cdfpoison.UniformKeys(rng, 1000, 20_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := cdfpoison.GreedyMultiPoint(clean, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdfpoison.TrimDefense(atk.Poisoned, 1000, cdfpoison.TrimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1_000_000:
+		return "n1M"
+	case n >= 100_000:
+		return "n100k"
+	case n >= 10_000:
+		return "n10k"
+	default:
+		return "n1k"
+	}
+}

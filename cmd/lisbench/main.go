@@ -1,0 +1,457 @@
+// Command lisbench regenerates every figure of the paper's evaluation
+// (Figures 2–8) plus the repository's extensions and ablations, printing
+// ASCII tables/plots to stdout and optionally writing CSV files.
+//
+// Usage:
+//
+//	lisbench -fig all                 # everything at default scale
+//	lisbench -fig 5 -scale quick      # one figure, test-sized
+//	lisbench -fig 6 -scale large -out results/
+//
+// Scales: quick (seconds), default (minutes), large (tens of minutes on one
+// core). See DESIGN.md §3 ("Scaling policy") for what each preserves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cdfpoison/internal/bench"
+	"cdfpoison/internal/export"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|all")
+		scale = flag.String("scale", "default", "experiment scale: quick|default|large")
+		seed  = flag.Uint64("seed", 42, "root RNG seed")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Scale: bench.Scale(*scale), Seed: *seed}
+	switch opts.Scale {
+	case bench.ScaleQuick, bench.ScaleDefault, bench.ScaleLarge:
+	default:
+		fatalf("unknown scale %q (want quick|default|large)", *scale)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatalf("create output dir: %v", err)
+		}
+	}
+
+	runners := map[string]func(bench.Options, string) error{
+		"2":        runFig2,
+		"3":        runFig3,
+		"4":        runFig4,
+		"5":        runFig5,
+		"6":        runFig6,
+		"7":        runFig7,
+		"8":        runFig8,
+		"ext":      runExtensions,
+		"ablation": runAblations,
+	}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := runners[f]; !ok {
+				fatalf("unknown figure %q (want 2..8, ext, ablation, all)", f)
+			}
+			selected = append(selected, f)
+		}
+	}
+	for _, f := range selected {
+		start := time.Now()
+		if err := runners[f](opts, *out); err != nil {
+			fatalf("figure %s: %v", f, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name(f), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func name(f string) string {
+	switch f {
+	case "ext":
+		return "extensions"
+	case "ablation":
+		return "ablations"
+	default:
+		return "figure " + f
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lisbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func writeCSV(dir, fname string, tb *export.Table) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, fname))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, rows := tb.CSV()
+	return export.WriteCSV(f, h, rows)
+}
+
+func runFig2(opts bench.Options, out string) error {
+	res, err := bench.Fig2(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Figure 2: compound effect of a single poisoning key ===")
+	fmt.Printf("keys: %v\n", res.Keys)
+	fmt.Printf("optimal poisoning key: %d (takes rank %d)\n", res.PoisonKey, res.Rank)
+	fmt.Printf("regression before: %v\n", res.Before)
+	fmt.Printf("regression after:  %v\n", res.After)
+	fmt.Printf("ratio loss: %.3f×\n", res.Ratio)
+
+	tb := export.NewTable("key", "rank_before", "rank_after", "is_poison")
+	poisoned := res.Keys
+	poisoned, _ = poisoned.Insert(res.PoisonKey)
+	for i := 0; i < poisoned.Len(); i++ {
+		k := poisoned.At(i)
+		rb := "-"
+		if r, ok := res.Keys.Rank(k); ok {
+			rb = fmt.Sprint(r)
+		}
+		isP := "0"
+		if k == res.PoisonKey {
+			isP = "1"
+		}
+		tb.AddRow(fmt.Sprint(k), rb, fmt.Sprint(i+1), isP)
+	}
+	tb.Render(os.Stdout)
+	// CDF scatter before/after.
+	var cx, cy, px, py []float64
+	for i := 0; i < res.Keys.Len(); i++ {
+		cx = append(cx, float64(res.Keys.At(i)))
+		cy = append(cy, float64(i+1))
+	}
+	for i := 0; i < poisoned.Len(); i++ {
+		px = append(px, float64(poisoned.At(i)))
+		py = append(py, float64(i+1))
+	}
+	export.RenderChart(os.Stdout, "CDF before (#) and after (o) poisoning", []export.Series{
+		{Name: "before", X: cx, Y: cy},
+		{Name: "after", X: px, Y: py},
+	}, 64, 12)
+	return writeCSV(out, "fig2.csv", tb)
+}
+
+func runFig3(opts bench.Options, out string) error {
+	res, err := bench.Fig3(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Figure 3: loss sequence and first discrete derivative ===")
+	fmt.Printf("keys: %v (clean loss %.4f)\n", res.Keys, res.CleanLoss)
+	fmt.Printf("max per-gap interior excess over endpoints: %.3g (Theorem 2 predicts <= 0)\n", res.MaxExcess)
+	var sx, sy, dx, dy []float64
+	tb := export.NewTable("poison_key", "loss", "derivative")
+	for i, p := range res.Sequence {
+		sx = append(sx, float64(p.Key))
+		sy = append(sy, p.Loss)
+		d := ""
+		if i < len(res.Derivative) {
+			d = export.F(res.Derivative[i].Loss)
+			dx = append(dx, float64(res.Derivative[i].Key))
+			dy = append(dy, res.Derivative[i].Loss)
+		}
+		tb.AddRow(fmt.Sprint(p.Key), export.F(p.Loss), d)
+	}
+	export.RenderChart(os.Stdout, "Loss L(kp) across the key space", []export.Series{
+		{Name: "loss after poisoning at kp", X: sx, Y: sy},
+	}, 64, 12)
+	export.RenderChart(os.Stdout, "First discrete derivative of L", []export.Series{
+		{Name: "ΔL", X: dx, Y: dy},
+	}, 64, 10)
+	return writeCSV(out, "fig3.csv", tb)
+}
+
+func runFig4(opts bench.Options, out string) error {
+	res, err := bench.Fig4(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Figure 4: greedy multi-point attack (n=90, p=10) ===")
+	fmt.Printf("ratio loss: %.2f× (paper reports 7.4×)\n", res.Ratio)
+	fmt.Printf("regression before: %v\n", res.Before)
+	fmt.Printf("regression after:  %v\n", res.After)
+	fmt.Printf("poison keys: %v\n", res.Poison)
+	fmt.Printf("mean gap width %.1f vs mean poisoned-gap width %.1f\n",
+		res.MeanGapWidth, res.MeanPoisonGapWidth)
+	var cx, cy []float64
+	for i := 0; i < res.Poisoned.Len(); i++ {
+		cx = append(cx, float64(res.Poisoned.At(i)))
+		cy = append(cy, float64(i+1))
+	}
+	export.RenderChart(os.Stdout, "Poisoned CDF", []export.Series{{Name: "rank", X: cx, Y: cy}}, 64, 12)
+	tb := export.NewTable("poison_key", "order")
+	for i, p := range res.Poison {
+		tb.AddRow(fmt.Sprint(p), fmt.Sprint(i+1))
+	}
+	return writeCSV(out, "fig4.csv", tb)
+}
+
+func renderGrid(res bench.RegressionGridResult, out, file, paperNote string) error {
+	fmt.Printf("trials per cell: %d; %s\n", res.Trials, paperNote)
+	tb := export.NewTable("keys", "density_pct", "domain", "poison_pct",
+		"median_ratio", "q1", "q3", "whisker_hi", "max", "boxplot")
+	// Boxplots share an axis per (keys, density) group for comparability.
+	for i := 0; i < len(res.Cells); {
+		j := i
+		hi := 1.0
+		for ; j < len(res.Cells) && res.Cells[j].Keys == res.Cells[i].Keys &&
+			res.Cells[j].DensityPct == res.Cells[i].DensityPct; j++ {
+			if res.Cells[j].Box.Max > hi {
+				hi = res.Cells[j].Box.Max
+			}
+		}
+		for ; i < j; i++ {
+			c := res.Cells[i]
+			tb.AddRow(fmt.Sprint(c.Keys), export.F(c.DensityPct), fmt.Sprint(c.Domain),
+				export.F(c.PoisonPct), export.F(c.Box.Median), export.F(c.Box.Q1),
+				export.F(c.Box.Q3), export.F(c.Box.WhiskerHi), export.F(c.Box.Max),
+				export.RenderBoxplot(c.Box, 0, hi, 40))
+		}
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("max median ratio: %.1f×\n", res.MaxMedianRatio())
+	return writeCSV(out, file, tb)
+}
+
+func runFig5(opts bench.Options, out string) error {
+	fmt.Println("=== Figure 5: multi-point poisoning, uniform keys ===")
+	res, err := bench.RegressionGrid(bench.DistUniform, opts)
+	if err != nil {
+		return err
+	}
+	return renderGrid(res, out, "fig5.csv", "paper: ratios up to ~100×")
+}
+
+func runFig8(opts bench.Options, out string) error {
+	fmt.Println("=== Figure 8: multi-point poisoning, normal keys ===")
+	res, err := bench.RegressionGrid(bench.DistNormal, opts)
+	if err != nil {
+		return err
+	}
+	return renderGrid(res, out, "fig8.csv", "paper: ratios up to ~8×")
+}
+
+func runFig6(opts bench.Options, out string) error {
+	fmt.Println("=== Figure 6: RMI attack on synthetic data ===")
+	res, err := bench.RMISynthetic(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n = %d legitimate keys\n", res.Keys)
+	tb := export.NewTable("dist", "domain", "model_size", "num_models", "poison_pct",
+		"alpha", "rmi_ratio", "median_model_ratio", "max_model_ratio", "moves", "injected")
+	for _, c := range res.Cells {
+		tb.AddRow(string(c.Dist), fmt.Sprint(c.Domain), fmt.Sprint(c.ModelSize),
+			fmt.Sprint(c.NumModels), export.F(c.PoisonPct), export.F(c.Alpha),
+			export.F(c.RMIRatio), export.F(c.Box.Median), export.F(c.MaxModelRatio),
+			fmt.Sprint(c.Moves), fmt.Sprint(c.Injected))
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("max RMI ratio: uniform %.1f×, log-normal %.1f× (paper: up to ~300×)\n",
+		res.MaxRMIRatio(bench.DistUniform), res.MaxRMIRatio(bench.DistLogNormal))
+	fmt.Printf("max individual model ratio: %.1f× (paper: up to ~3000×)\n",
+		res.MaxModelRatioOverall(""))
+	return writeCSV(out, "fig6.csv", tb)
+}
+
+func runFig7(opts bench.Options, out string) error {
+	fmt.Println("=== Figure 7: RMI attack on real-world (simulated) data ===")
+	for _, ds := range []bench.RealDataset{bench.DatasetSalaries, bench.DatasetOSM} {
+		res, err := bench.RealData(ds, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s: n=%d, density %.2f%% ---\n", ds, res.Keys.Len(), res.Density*100)
+		export.RenderChart(os.Stdout, "CDF", []export.Series{
+			{Name: "rank", X: res.CDFKeys, Y: res.CDFRanks},
+		}, 64, 10)
+		tb := export.NewTable("model_size", "num_models", "poison_pct",
+			"rmi_ratio", "median_model_ratio", "max_model_ratio", "injected")
+		for _, c := range res.Cells {
+			tb.AddRow(fmt.Sprint(c.ModelSize), fmt.Sprint(c.NumModels), export.F(c.PoisonPct),
+				export.F(c.RMIRatio), export.F(c.Box.Median), export.F(c.MaxModelRatio),
+				fmt.Sprint(c.Injected))
+		}
+		tb.Render(os.Stdout)
+		fmt.Printf("max RMI ratio: %.1f× (paper: 4–24×)\n", res.MaxRMIRatio())
+		if err := writeCSV(out, fmt.Sprintf("fig7-%s.csv", ds), tb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExtensions(opts bench.Options, out string) error {
+	fmt.Println("=== Extension A: lookup-cost degradation of the RMI ===")
+	cells, err := bench.LookupDegradation(opts)
+	if err != nil {
+		return err
+	}
+	tb := export.NewTable("dist", "keys", "fanout", "poison_pct",
+		"clean_probes", "poisoned_probes", "clean_avg_window", "poisoned_avg_window",
+		"clean_max_window", "poisoned_max_window", "stage2_mse_gain")
+	for _, c := range cells {
+		tb.AddRow(string(c.Dist), fmt.Sprint(c.Keys), fmt.Sprint(c.Fanout),
+			export.F(c.PoisonPct), export.F(c.CleanProbes), export.F(c.PoisonedProbes),
+			export.F(c.CleanAvgWindow), export.F(c.PoisonedAvgWindow),
+			fmt.Sprint(c.CleanMaxWindow), fmt.Sprint(c.PoisonedMaxWindow),
+			export.F(c.SecondStageMSEGain))
+	}
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ext-lookup.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Extension B: RMI vs B-Tree ===")
+	cmp, err := bench.CompareWithBTree(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("keys", "rmi_clean_probes", "rmi_poisoned_probes",
+		"btree_probes", "btree_height", "rmi_model_bytes")
+	tb.AddRow(fmt.Sprint(cmp.Keys), export.F(cmp.RMICleanProbes), export.F(cmp.RMIPoisProbes),
+		export.F(cmp.BTreeProbes), fmt.Sprint(cmp.BTreeHeight), fmt.Sprint(cmp.RMIMemBytes))
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ext-btree.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Extension C: TRIM defense vs the CDF attack ===")
+	tcells, err := bench.TrimDefense(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("keys", "poison_pct", "precision", "recall",
+		"attack_ratio", "after_defense_ratio", "millis")
+	for _, c := range tcells {
+		tb.AddRow(fmt.Sprint(c.Keys), export.F(c.PoisonPct), export.F(c.Precision),
+			export.F(c.Recall), export.F(c.AttackRatio), export.F(c.AfterRatio),
+			fmt.Sprint(c.Millis))
+	}
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ext-trim.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Extension E2: insertion vs deletion vs modification adversaries ===")
+	ac, err := bench.AdversaryComparison(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("keys", "budget_pct", "insertion_ratio", "removal_ratio", "modification_ratio")
+	tb.AddRow(fmt.Sprint(ac.Keys), export.F(ac.BudgetPct), export.F(ac.InsertionRatio),
+		export.F(ac.RemovalRatio), export.F(ac.ModifyRatio))
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ext-adversaries.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Extension F: segment inflation of a PGM/FITing-tree-style index ===")
+	pcells, err := bench.PLAInflation(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("epsilon", "keys", "poison_pct", "clean_segments",
+		"loss_attack_segments", "loss_inflation", "burst_segments",
+		"burst_inflation", "burst_injected", "clean_bytes", "burst_bytes")
+	for _, c := range pcells {
+		tb.AddRow(fmt.Sprint(c.Epsilon), fmt.Sprint(c.Keys), export.F(c.PoisonPct),
+			fmt.Sprint(c.CleanSegments), fmt.Sprint(c.LossAttackSegments),
+			export.F(c.LossInflation), fmt.Sprint(c.BurstSegments),
+			export.F(c.BurstInflation), fmt.Sprint(c.BurstInjected),
+			fmt.Sprint(c.CleanBytes), fmt.Sprint(c.BurstBytes))
+	}
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ext-pla.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Extension G: quadratic second stage as a mitigation ===")
+	qc, err := bench.QuadraticMitigation(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("keys", "poison_pct", "linear_ratio", "quad_ratio",
+		"linear_clean_loss", "quad_clean_loss", "params_linear", "params_quad")
+	tb.AddRow(fmt.Sprint(qc.Keys), export.F(qc.PoisonPct), export.F(qc.LinearRatio),
+		export.F(qc.QuadRatio), export.F(qc.LinearCleanLoss), export.F(qc.QuadCleanLoss),
+		fmt.Sprint(qc.ParamsLinear), fmt.Sprint(qc.ParamsQuad))
+	tb.Render(os.Stdout)
+	return writeCSV(out, "ext-quad.csv", tb)
+}
+
+func runAblations(opts bench.Options, out string) error {
+	fmt.Println("=== Ablation 1: endpoint enumeration vs brute force ===")
+	ep, err := bench.EndpointsVsBrute(opts)
+	if err != nil {
+		return err
+	}
+	tb := export.NewTable("keys", "domain", "opt_candidates", "brute_candidates",
+		"agree", "opt_micros", "brute_micros", "speedup")
+	speedup := float64(ep.BruteMicros) / float64(max64(ep.OptMicros, 1))
+	tb.AddRow(fmt.Sprint(ep.Keys), fmt.Sprint(ep.Domain), fmt.Sprint(ep.OptCandidates),
+		fmt.Sprint(ep.BruteCandidates), fmt.Sprint(ep.Agree),
+		fmt.Sprint(ep.OptMicros), fmt.Sprint(ep.BruteMicros), export.F(speedup))
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ablation-endpoints.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Ablation 2: greedy volume allocation vs uniform split ===")
+	va, err := bench.VolumeAllocation(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("dist", "uniform_rmi_ratio", "greedy_rmi_ratio", "moves")
+	tb.AddRow(string(va.Dist), export.F(va.UniformRatio), export.F(va.GreedyRatio),
+		fmt.Sprint(va.Moves))
+	tb.Render(os.Stdout)
+	if err := writeCSV(out, "ablation-volume.csv", tb); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Ablation 3: per-model poisoning threshold α ===")
+	ac, err := bench.AlphaSweep(opts)
+	if err != nil {
+		return err
+	}
+	tb = export.NewTable("alpha", "rmi_ratio", "max_model_budget")
+	for _, c := range ac {
+		a := export.F(c.Alpha)
+		if c.Alpha == 0 {
+			a = "unbounded"
+		}
+		tb.AddRow(a, export.F(c.RMIRatio), fmt.Sprint(c.MaxBudget))
+	}
+	tb.Render(os.Stdout)
+	return writeCSV(out, "ablation-alpha.csv", tb)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdfpoison/internal/bench"
+)
+
+// Every figure runner is exercised at quick scale with a temp CSV directory,
+// covering the rendering and export paths end to end.
+
+func quickOpts() bench.Options { return bench.Options{Scale: bench.ScaleQuick, Seed: 7} }
+
+// silently runs fn with os.Stdout pointed at the null device, so the ASCII
+// figure output does not pollute `go test` logs.
+func silently(t *testing.T, fn func() error) error {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	orig := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = orig }()
+	return fn()
+}
+
+func runAndCheckCSV(t *testing.T, name string, run func(bench.Options, string) error, wantFiles ...string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := silently(t, func() error { return run(quickOpts(), dir) }); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for _, f := range wantFiles {
+		path := filepath.Join(dir, f)
+		fh, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: missing CSV %s: %v", name, f, err)
+		}
+		rows, err := csv.NewReader(fh).ReadAll()
+		fh.Close()
+		if err != nil {
+			t.Fatalf("%s: unparseable CSV %s: %v", name, f, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s: CSV %s has %d rows (want header + data)", name, f, len(rows))
+		}
+	}
+}
+
+func TestRunFig2(t *testing.T) { runAndCheckCSV(t, "fig2", runFig2, "fig2.csv") }
+func TestRunFig3(t *testing.T) { runAndCheckCSV(t, "fig3", runFig3, "fig3.csv") }
+func TestRunFig4(t *testing.T) { runAndCheckCSV(t, "fig4", runFig4, "fig4.csv") }
+func TestRunFig5(t *testing.T) { runAndCheckCSV(t, "fig5", runFig5, "fig5.csv") }
+func TestRunFig6(t *testing.T) { runAndCheckCSV(t, "fig6", runFig6, "fig6.csv") }
+func TestRunFig7(t *testing.T) {
+	runAndCheckCSV(t, "fig7", runFig7, "fig7-miami-salaries.csv", "fig7-osm-latitudes.csv")
+}
+func TestRunFig8(t *testing.T) { runAndCheckCSV(t, "fig8", runFig8, "fig8.csv") }
+
+func TestRunExtensions(t *testing.T) {
+	runAndCheckCSV(t, "ext", runExtensions,
+		"ext-lookup.csv", "ext-btree.csv", "ext-trim.csv",
+		"ext-adversaries.csv", "ext-pla.csv", "ext-quad.csv")
+}
+
+func TestRunAblations(t *testing.T) {
+	runAndCheckCSV(t, "ablation", runAblations,
+		"ablation-endpoints.csv", "ablation-volume.csv", "ablation-alpha.csv")
+}
+
+func TestRunnersWithoutOutputDir(t *testing.T) {
+	// CSV output is optional; runners must succeed with an empty dir string.
+	for name, run := range map[string]func(bench.Options, string) error{
+		"fig2": runFig2, "fig4": runFig4,
+	} {
+		run := run
+		if err := silently(t, func() error { return run(quickOpts(), "") }); err != nil {
+			t.Fatalf("%s without -out: %v", name, err)
+		}
+	}
+}
+
+func TestCSVDeterminism(t *testing.T) {
+	// Same seed → byte-identical CSV: the reproducibility guarantee
+	// EXPERIMENTS.md relies on.
+	read := func() []byte {
+		dir := t.TempDir()
+		if err := silently(t, func() error { return runFig5(quickOpts(), dir) }); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := read(), read()
+	if string(a) != string(b) {
+		t.Fatal("fig5 CSV differs across identical runs")
+	}
+}

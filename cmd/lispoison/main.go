@@ -1,0 +1,308 @@
+// Command lispoison generates key datasets, mounts the paper's poisoning
+// attacks against them, evaluates the damage, and runs the TRIM defense —
+// all on plain text key files (one decimal key per line).
+//
+// Subcommands:
+//
+//	lispoison gen    -dist uniform -n 10000 -domain 1000000 -o keys.txt
+//	lispoison attack -in keys.txt -percent 10 -o poison.txt            # regression attack
+//	lispoison attack -in keys.txt -percent 10 -modelsize 100 -o p.txt  # RMI attack
+//	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
+//	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
+//
+// Every command is deterministic given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdfpoison"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "defend":
+		err = cmdDefend(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lispoison: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lispoison: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|eval|defend> [flags]
+
+  gen     generate a key dataset (uniform|normal|lognormal|salaries|osm)
+  attack  poison a key file (linear regression on CDF, or two-stage RMI)
+  eval    measure ratio loss of a poisoned file against the clean file
+  defend  run the TRIM defense on a poisoned file
+
+Run 'lispoison <subcommand> -h' for flags.`)
+	os.Exit(2)
+}
+
+func readKeys(path string) (cdfpoison.KeySet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return cdfpoison.KeySet{}, err
+	}
+	defer f.Close()
+	return cdfpoison.ReadKeysText(f)
+}
+
+func writeKeys(path string, ks cdfpoison.KeySet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ks.WriteText(f)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dist := fs.String("dist", "uniform", "uniform|normal|lognormal|salaries|osm")
+	n := fs.Int("n", 10000, "number of keys (ignored for salaries/osm full sets)")
+	domain := fs.Int64("domain", 1_000_000, "key universe size m (synthetic dists)")
+	mu := fs.Float64("mu", 0, "log-normal mu")
+	sigma := fs.Float64("sigma", 2, "log-normal sigma")
+	seed := fs.Uint64("seed", 42, "rng seed")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -o is required")
+	}
+	rng := cdfpoison.NewRNG(*seed)
+	var (
+		ks  cdfpoison.KeySet
+		err error
+	)
+	switch *dist {
+	case "uniform":
+		ks, err = cdfpoison.UniformKeys(rng, *n, *domain)
+	case "normal":
+		ks, err = cdfpoison.NormalKeys(rng, *n, *domain)
+	case "lognormal":
+		ks, err = cdfpoison.LogNormalKeys(rng, *n, *domain, *mu, *sigma)
+	case "salaries":
+		ks, err = cdfpoison.MiamiSalaries(rng)
+	case "osm":
+		ks, err = cdfpoison.OSMLatitudes(rng)
+	default:
+		return fmt.Errorf("gen: unknown distribution %q", *dist)
+	}
+	if err != nil {
+		return fmt.Errorf("gen: %w", err)
+	}
+	if err := writeKeys(*out, ks); err != nil {
+		return fmt.Errorf("gen: %w", err)
+	}
+	fmt.Printf("wrote %d keys (min %d, max %d) to %s\n", ks.Len(), ks.Min(), ks.Max(), *out)
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	percent := fs.Float64("percent", 10, "poisoning percentage φ·100")
+	modelSize := fs.Int("modelsize", 0, "RMI second-stage model size; 0 = plain regression attack")
+	models := fs.Int("models", 0, "RMI fanout N (alternative to -modelsize)")
+	alpha := fs.Float64("alpha", 3, "per-model poisoning threshold multiplier (RMI)")
+	removal := fs.Bool("removal", false, "mount the deletion adversary instead of injection")
+	out := fs.String("o", "", "output file for poison (or removed) keys (required)")
+	outAll := fs.String("o-poisoned", "", "optional output file for the full poisoned (or surviving) key set")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("attack: -in and -o are required")
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+
+	if *removal {
+		budget := int(float64(ks.Len()) * *percent / 100)
+		g, err := cdfpoison.GreedyRemoval(ks, budget)
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		removed, err := cdfpoison.NewKeySetStrict(g.Removed)
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		fmt.Printf("removal attack: %d keys deleted, MSE %.6g -> %.6g (ratio %.2f×)\n",
+			len(g.Removed), g.CleanLoss, g.FinalLoss(), g.RatioLoss())
+		if err := writeKeys(*out, removed); err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		fmt.Printf("wrote %d removed keys to %s\n", removed.Len(), *out)
+		if *outAll != "" {
+			if err := writeKeys(*outAll, g.Remaining); err != nil {
+				return fmt.Errorf("attack: %w", err)
+			}
+			fmt.Printf("wrote %d surviving keys to %s\n", g.Remaining.Len(), *outAll)
+		}
+		return nil
+	}
+
+	var poison cdfpoison.KeySet
+	var poisoned cdfpoison.KeySet
+	if *modelSize == 0 && *models == 0 {
+		budget := int(float64(ks.Len()) * *percent / 100)
+		g, err := cdfpoison.GreedyMultiPoint(ks, budget)
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		poison, err = cdfpoison.NewKeySetStrict(g.Poison)
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		poisoned = g.Poisoned
+		fmt.Printf("regression attack: %d poison keys, MSE %.6g -> %.6g (ratio %.2f×)\n",
+			len(g.Poison), g.CleanLoss, g.FinalLoss(), g.RatioLoss())
+	} else {
+		N := *models
+		if N == 0 {
+			N = ks.Len() / *modelSize
+			if N < 1 {
+				N = 1
+			}
+		}
+		res, err := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{
+			NumModels: N, Percent: *percent, Alpha: *alpha,
+		})
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		poison = res.Poison
+		poisoned = ks.Union(res.Poison)
+		fmt.Printf("RMI attack: N=%d models, %d/%d poison keys injected, L_RMI %.6g -> %.6g (ratio %.2f×), %d exchanges\n",
+			N, res.Injected, res.Budget, res.CleanRMILoss, res.PoisonedRMILoss, res.RMIRatio(), res.Moves)
+	}
+	if err := writeKeys(*out, poison); err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+	fmt.Printf("wrote %d poison keys to %s\n", poison.Len(), *out)
+	if *outAll != "" {
+		if err := writeKeys(*outAll, poisoned); err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		fmt.Printf("wrote %d poisoned keys to %s\n", poisoned.Len(), *outAll)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	cleanPath := fs.String("clean", "", "clean key file (required)")
+	poisonPath := fs.String("poison", "", "poison key file (required)")
+	modelSize := fs.Int("modelsize", 0, "evaluate as RMI with this model size (0 = single regression)")
+	fs.Parse(args)
+	if *cleanPath == "" || *poisonPath == "" {
+		return fmt.Errorf("eval: -clean and -poison are required")
+	}
+	clean, err := readKeys(*cleanPath)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	poison, err := readKeys(*poisonPath)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	poisoned := clean.Union(poison)
+	if poisoned.Len() != clean.Len()+poison.Len() {
+		return fmt.Errorf("eval: poison file overlaps the clean keys")
+	}
+
+	if *modelSize == 0 {
+		cm, err := cdfpoison.FitCDF(clean)
+		if err != nil {
+			return fmt.Errorf("eval: %w", err)
+		}
+		pm, err := cdfpoison.FitCDF(poisoned)
+		if err != nil {
+			return fmt.Errorf("eval: %w", err)
+		}
+		fmt.Printf("clean:    %v\n", cm)
+		fmt.Printf("poisoned: %v\n", pm)
+		if cm.Loss > 0 {
+			fmt.Printf("ratio loss: %.2f×\n", pm.Loss/cm.Loss)
+		}
+		return nil
+	}
+	fanout := clean.Len() / *modelSize
+	if fanout < 1 {
+		fanout = 1
+	}
+	cleanIdx, err := cdfpoison.BuildRMI(clean, cdfpoison.RMIConfig{Fanout: fanout})
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	poisIdx, err := cdfpoison.BuildRMI(poisoned, cdfpoison.RMIConfig{Fanout: fanout})
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	cs, ps := cleanIdx.Stats(), poisIdx.Stats()
+	cleanProbes, _ := cleanIdx.AvgProbes(clean.Keys())
+	poisProbes, _ := poisIdx.AvgProbes(clean.Keys())
+	fmt.Printf("fanout %d models\n", fanout)
+	fmt.Printf("second-stage MSE: %.6g -> %.6g (ratio %.2f×)\n",
+		cs.SecondStageMSE, ps.SecondStageMSE, ps.SecondStageMSE/cs.SecondStageMSE)
+	fmt.Printf("avg search window: %.1f -> %.1f\n", cs.AvgWindow, ps.AvgWindow)
+	fmt.Printf("avg probes per lookup (legit keys): %.2f -> %.2f\n", cleanProbes, poisProbes)
+	return nil
+}
+
+func cmdDefend(args []string) error {
+	fs := flag.NewFlagSet("defend", flag.ExitOnError)
+	in := fs.String("in", "", "poisoned key file (required)")
+	cleanCount := fs.Int("clean-count", 0, "presumed number of clean keys (required)")
+	restarts := fs.Int("restarts", 2, "TRIM random restarts")
+	seed := fs.Uint64("seed", 42, "rng seed")
+	out := fs.String("o", "", "output file for kept keys (required)")
+	outRemoved := fs.String("o-removed", "", "optional output file for flagged keys")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *cleanCount == 0 {
+		return fmt.Errorf("defend: -in, -clean-count and -o are required")
+	}
+	poisoned, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("defend: %w", err)
+	}
+	res, err := cdfpoison.TrimDefense(poisoned, *cleanCount, cdfpoison.TrimOptions{
+		Restarts: *restarts, Seed: *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("defend: %w", err)
+	}
+	fmt.Printf("TRIM kept %d keys (removed %d) in %d iterations (converged=%v)\n",
+		res.Kept.Len(), res.Removed.Len(), res.Iterations, res.Converged)
+	fmt.Printf("kept-set model: %v\n", res.Model)
+	if err := writeKeys(*out, res.Kept); err != nil {
+		return fmt.Errorf("defend: %w", err)
+	}
+	if *outRemoved != "" {
+		if err := writeKeys(*outRemoved, res.Removed); err != nil {
+			return fmt.Errorf("defend: %w", err)
+		}
+	}
+	return nil
+}

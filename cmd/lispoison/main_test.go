@@ -1,0 +1,205 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdfpoison"
+)
+
+// The subcommand functions are exercised directly with temp files, covering
+// the full gen → attack → eval → defend pipeline without spawning processes.
+
+func tmpPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func TestGenAttackEvalDefendPipeline(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	poisonFile := tmpPath(t, "poison.txt")
+	allFile := tmpPath(t, "all.txt")
+	keptFile := tmpPath(t, "kept.txt")
+
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "500", "-domain", "10000", "-seed", "7", "-o", keysFile}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	ks, err := readKeys(keysFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Len() != 500 {
+		t.Fatalf("generated %d keys", ks.Len())
+	}
+
+	if err := cmdAttack([]string{"-in", keysFile, "-percent", "10", "-o", poisonFile, "-o-poisoned", allFile}); err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	poison, err := readKeys(poisonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poison.Len() != 50 {
+		t.Fatalf("poison count %d, want 50", poison.Len())
+	}
+	all, err := readKeys(allFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 550 {
+		t.Fatalf("poisoned set %d, want 550", all.Len())
+	}
+
+	if err := cmdEval([]string{"-clean", keysFile, "-poison", poisonFile}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := cmdEval([]string{"-clean", keysFile, "-poison", poisonFile, "-modelsize", "50"}); err != nil {
+		t.Fatalf("eval rmi: %v", err)
+	}
+
+	if err := cmdDefend([]string{"-in", allFile, "-clean-count", "500", "-o", keptFile}); err != nil {
+		t.Fatalf("defend: %v", err)
+	}
+	kept, err := readKeys(keptFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Len() != 500 {
+		t.Fatalf("kept %d, want 500", kept.Len())
+	}
+}
+
+func TestGenAllDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "normal", "lognormal"} {
+		out := tmpPath(t, dist+".txt")
+		if err := cmdGen([]string{"-dist", dist, "-n", "300", "-domain", "30000", "-o", out}); err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		ks, err := readKeys(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks.Len() != 300 {
+			t.Fatalf("%s: %d keys", dist, ks.Len())
+		}
+	}
+}
+
+func TestGenRejectsBadInput(t *testing.T) {
+	if err := cmdGen([]string{"-dist", "zipf", "-o", tmpPath(t, "x.txt")}); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "10", "-domain", "5", "-o", tmpPath(t, "x.txt")}); err == nil {
+		t.Fatal("infeasible n/domain accepted")
+	}
+	if err := cmdGen([]string{"-dist", "uniform"}); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+}
+
+func TestAttackRMIMode(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	poisonFile := tmpPath(t, "poison.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "600", "-domain", "12000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAttack([]string{"-in", keysFile, "-percent", "10", "-modelsize", "100", "-o", poisonFile}); err != nil {
+		t.Fatalf("rmi attack: %v", err)
+	}
+	poison, err := readKeys(poisonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poison.Len() == 0 || poison.Len() > 60 {
+		t.Fatalf("poison count %d", poison.Len())
+	}
+}
+
+func TestAttackRemovalMode(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	removedFile := tmpPath(t, "removed.txt")
+	survivorsFile := tmpPath(t, "survivors.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "400", "-domain", "8000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAttack([]string{"-in", keysFile, "-percent", "5", "-removal", "-o", removedFile, "-o-poisoned", survivorsFile}); err != nil {
+		t.Fatalf("removal attack: %v", err)
+	}
+	removed, err := readKeys(removedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, err := readKeys(survivorsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Len()+survivors.Len() != 400 {
+		t.Fatalf("keys lost: %d + %d != 400", removed.Len(), survivors.Len())
+	}
+	orig, _ := readKeys(keysFile)
+	for _, k := range removed.Keys() {
+		if !orig.Contains(k) || survivors.Contains(k) {
+			t.Fatalf("removal bookkeeping broken for key %d", k)
+		}
+	}
+}
+
+func TestEvalRejectsOverlap(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "1000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	// "Poison" file that overlaps the clean keys must be rejected.
+	if err := cmdEval([]string{"-clean", keysFile, "-poison", keysFile}); err == nil {
+		t.Fatal("overlapping poison file accepted")
+	}
+}
+
+func TestMissingFlagErrors(t *testing.T) {
+	if err := cmdAttack([]string{"-in", "nope.txt"}); err == nil {
+		t.Fatal("attack without -o accepted")
+	}
+	if err := cmdEval([]string{"-clean", "nope.txt"}); err == nil {
+		t.Fatal("eval without -poison accepted")
+	}
+	if err := cmdDefend([]string{"-in", "nope.txt", "-o", "x"}); err == nil {
+		t.Fatal("defend without -clean-count accepted")
+	}
+	if err := cmdAttack([]string{"-in", "does-not-exist.txt", "-o", "x"}); err == nil {
+		t.Fatal("attack on missing file accepted")
+	}
+}
+
+func TestReadKeysRejectsGarbageFile(t *testing.T) {
+	p := tmpPath(t, "garbage.txt")
+	if err := os.WriteFile(p, []byte("12\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readKeys(p); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func TestWriteKeysRoundTrip(t *testing.T) {
+	ks, err := cdfpoison.NewKeySet([]int64{5, 1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tmpPath(t, "rt.txt")
+	if err := writeKeys(p, ks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readKeys(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ks) {
+		t.Fatal("round trip mismatch")
+	}
+	data, _ := os.ReadFile(p)
+	if !strings.HasPrefix(string(data), "1\n5\n9\n") {
+		t.Fatalf("file format: %q", data)
+	}
+}

@@ -1,0 +1,44 @@
+// Package cdfpoison is a complete Go implementation of the poisoning
+// attacks on learned index structures introduced by Kornaropoulos, Ren, and
+// Tamassia, "The Price of Tailoring the Index to Your Data: Poisoning
+// Attacks on Learned Index Structures" (SIGMOD 2022, arXiv:2008.00297),
+// together with every substrate the paper's evaluation needs: linear
+// regression on CDFs, a two-stage recursive model index (RMI) with probe
+// accounting, a B-Tree baseline, dataset generators for the paper's
+// synthetic and real-world workloads, and a TRIM-style defense adapted to
+// CDF training data.
+//
+// # Background
+//
+// A learned index models the lookup "key → position in the sorted key
+// array" as a regression on the key set's cumulative distribution function
+// (CDF). Because the model is tailored to the data, an adversary who can
+// contribute data before the index is (re)built can craft keys whose
+// insertion degrades the model for everyone: inserting a single key shifts
+// the rank of every larger key, so a poisoning key has a global, compound
+// effect on the training set — a structurally different setting from
+// classic regression poisoning.
+//
+// # Quick start
+//
+//	ks, _ := cdfpoison.NewKeySet(myKeys)
+//	model, _ := cdfpoison.FitCDF(ks)              // the index's regression
+//	atk, _ := cdfpoison.GreedyMultiPoint(ks, 50)  // 50 optimal poison keys
+//	fmt.Println(atk.RatioLoss())                  // error amplification
+//
+// Attacking a full two-stage RMI:
+//
+//	res, _ := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{
+//	    NumModels: 100, Percent: 10, Alpha: 3,
+//	})
+//	fmt.Println(res.RMIRatio())
+//
+// Building and querying the index substrate:
+//
+//	idx, _ := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 100})
+//	r := idx.Lookup(key)    // r.Found, r.Pos, r.Probes
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record of
+// every reproduced figure.
+package cdfpoison

@@ -1,0 +1,76 @@
+// Black-box attack: the paper's Section VI future-work scenario, executable.
+//
+// The adversary knows the training keys (the standard poisoning assumption)
+// but NOT the deployed index's parameters. Because second-stage models are
+// linear, one position-prediction probe per known key recovers the entire
+// second stage — fanout, partition boundaries, and every (w, b) — after
+// which the white-box attack applies unchanged.
+//
+// Also demonstrates the deletion adversary (GreedyRemoval), the other
+// future-work extension.
+//
+//	go run ./examples/blackbox_attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdfpoison"
+)
+
+func main() {
+	rng := cdfpoison.NewRNG(21)
+	ks, err := cdfpoison.UniformKeys(rng, 5_000, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim deploys a two-stage RMI. The attacker sees only an oracle.
+	idx, err := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var oracle cdfpoison.PredictionOracle = idx
+
+	// --- Step 1: parameter inference ------------------------------------
+	inf, err := cdfpoison.InferSecondStage(oracle, ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inference: recovered %d second-stage models with %d probes (one per key)\n",
+		inf.NumModels(), inf.Probes)
+	s := inf.Segments[0]
+	fmt.Printf("model 0 serves keys[%d..%d]: rank ≈ %.6g·key %+.6g\n",
+		s.Lo, s.Hi, s.Line.W, s.Line.B)
+
+	// --- Step 2: mount the attack on the inferred architecture ----------
+	bb, err := cdfpoison.BlackBoxRMIAttack(oracle, ks, cdfpoison.RMIAttackOptions{
+		Percent: 10, Alpha: 3, MaxMoves: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nblack-box attack: %d poison keys, L_RMI ratio %.1f×\n",
+		bb.Attack.Poison.Len(), bb.Attack.RMIRatio())
+
+	// Compare with the white-box attacker who was handed the parameters.
+	wb, err := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{
+		NumModels: 50, Percent: 10, Alpha: 3, MaxMoves: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := bb.Attack.Poison.Equal(wb.Poison)
+	fmt.Printf("white-box attack:  %d poison keys, L_RMI ratio %.1f× — identical keys: %v\n",
+		wb.Poison.Len(), wb.RMIRatio(), same)
+
+	// --- Bonus: the deletion adversary ----------------------------------
+	fmt.Println("\ndeletion adversary (removes up to 5% of the keys):")
+	rm, err := cdfpoison.GreedyRemoval(ks, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removed %d keys, regression MSE %.4g → %.4g (ratio %.2f×)\n",
+		len(rm.Removed), rm.CleanLoss, rm.FinalLoss(), rm.RatioLoss())
+}

@@ -1,0 +1,85 @@
+// Defense evaluation: the paper's Section VI discussion, made executable.
+//
+// Three defenses face the greedy CDF poisoning attack:
+//
+//  1. range filtering      — evaded by construction (interior keys only),
+//
+//  2. density flagging     — poison hides inside dense legitimate regions,
+//
+//  3. TRIM (Jagielski et al.) adapted to CDFs — per-iteration re-ranking
+//     makes it expensive, and clustered poison survives or takes
+//     legitimate keys down with it.
+//
+//     go run ./examples/defense_evaluation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cdfpoison"
+)
+
+func main() {
+	rng := cdfpoison.NewRNG(11)
+	clean, err := cdfpoison.UniformKeys(rng, 1_000, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	atk, err := cdfpoison.GreedyMultiPoint(clean, 100) // 10% poisoning
+	if err != nil {
+		log.Fatal(err)
+	}
+	poison, err := cdfpoison.NewKeySetStrict(atk.Poison)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack: %d poison keys, ratio loss %.1f×\n\n", poison.Len(), atk.RatioLoss())
+
+	// --- Defense 1: range filter ---------------------------------------
+	_, removed := cdfpoison.RangeFilter(atk.Poisoned, clean.Min(), clean.Max())
+	fmt.Printf("range filter:    removed %d keys (attack uses interior keys only)\n", removed.Len())
+
+	// --- Defense 2: density flagging ------------------------------------
+	flagged := cdfpoison.DensityFlagger(atk.Poisoned, 5, 2.5)
+	hit := 0
+	for _, k := range flagged.Keys() {
+		if poison.Contains(k) {
+			hit++
+		}
+	}
+	fmt.Printf("density flagger: flagged %d keys, %d of them actually poison (recall %.0f%%)\n",
+		flagged.Len(), hit, 100*float64(hit)/float64(poison.Len()))
+
+	// --- Defense 3: TRIM on CDF -----------------------------------------
+	start := time.Now()
+	tr, err := cdfpoison.TrimDefense(atk.Poisoned, clean.Len(), cdfpoison.TrimOptions{
+		Restarts: 2, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ev, err := cdfpoison.EvaluateDefense(clean, poison, tr.Removed, tr.Kept)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TRIM:            %d iterations in %v\n", tr.Iterations, elapsed.Round(time.Millisecond))
+	fmt.Printf("                 precision %.2f, recall %.2f\n", ev.Precision, ev.Recall)
+	fmt.Printf("                 legitimate keys sacrificed: %d\n", ev.FalsePositives)
+
+	// What did the defender actually win? Compare the model trained on the
+	// kept set against the clean baseline and the undefended poisoned set.
+	keptModel, err := cdfpoison.FitCDF(tr.Kept)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMSE: clean %.4g | poisoned %.4g | after TRIM %.4g\n",
+		ev.CleanLossBefore, atk.FinalLoss(), keptModel.Loss)
+	if keptModel.Loss > 1.5*ev.CleanLossBefore {
+		fmt.Println("→ the attack largely survives the defense, as the paper predicts.")
+	} else {
+		fmt.Println("→ TRIM recovered most of the damage on this instance.")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: the 60-second tour of cdfpoison.
+//
+// It generates a key set, fits the learned index's regression, mounts the
+// greedy poisoning attack, and shows the error amplification — the paper's
+// core result in a dozen lines of API calls.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdfpoison"
+)
+
+func main() {
+	// 1. A victim's key set: 1,000 uniform keys over a 20,000-slot domain —
+	//    the friendly case for a learned index (nearly linear CDF).
+	rng := cdfpoison.NewRNG(2024)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The learned index's model: linear regression on the CDF.
+	clean, err := cdfpoison.FitCDF(ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean model:    %v\n", clean)
+
+	// 3. The attack: 10% poisoning keys, each chosen optimally against the
+	//    current training set (Algorithm 1 of the paper).
+	atk, err := cdfpoison.GreedyMultiPoint(ks, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poisoned, err := cdfpoison.FitCDF(atk.Poisoned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("poisoned model: %v\n", poisoned)
+	fmt.Printf("\nratio loss: %.1f× with %d poison keys (%.0f%% of the data)\n",
+		atk.RatioLoss(), len(atk.Poison), 100*float64(len(atk.Poison))/float64(ks.Len()))
+
+	// 4. What that means for the index: the prediction error bound, which
+	//    dictates the last-mile search cost, blows up correspondingly.
+	idxClean, err := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idxPois, err := cdfpoison.BuildRMI(atk.Poisoned, cdfpoison.RMIConfig{Fanout: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nindex search window (avg): %.1f → %.1f slots\n",
+		idxClean.Stats().AvgWindow, idxPois.Stats().AvgWindow)
+	fmt.Println("\nEvery stored key is still found — just more slowly:")
+	r := idxPois.Lookup(ks.At(500))
+	fmt.Printf("lookup(%d) = pos %d, found=%v, probes=%d\n",
+		ks.At(500), r.Pos, r.Found, r.Probes)
+}

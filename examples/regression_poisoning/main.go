@@ -1,0 +1,93 @@
+// Regression poisoning deep-dive: the single-model narrative of the paper's
+// Section IV, on one small key set you can read in full.
+//
+// It reproduces, end to end:
+//
+//   - the compound effect of one poisoning key (Figure 2),
+//
+//   - the loss landscape over every feasible poisoning location and the
+//     per-gap convexity that makes the O(n) attack possible (Figure 3),
+//
+//   - the greedy multi-point attack and its loss trajectory (Figure 4).
+//
+//     go run ./examples/regression_poisoning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdfpoison"
+)
+
+func main() {
+	rng := cdfpoison.NewRNG(7)
+	ks, err := cdfpoison.UniformKeys(rng, 20, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legitimate keys (n=%d): %v\n\n", ks.Len(), ks.Keys())
+
+	// --- Single-point attack (Figure 2) -------------------------------
+	sp, err := cdfpoison.OptimalSinglePoint(ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal single poisoning key: %d (takes rank %d)\n", sp.Key, sp.Rank)
+	fmt.Printf("MSE %.4f → %.4f (%.2f×)\n", sp.CleanLoss, sp.PoisonedLoss, sp.RatioLoss())
+	fmt.Printf("candidates evaluated: %d (only gap endpoints, by Theorem 2)\n\n", sp.Candidates)
+
+	// Cross-check against the brute-force oracle.
+	bf, err := cdfpoison.BruteForceSinglePoint(ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brute force agrees: best loss %.4f over %d candidates\n\n",
+		bf.PoisonedLoss, bf.Candidates)
+
+	// --- Loss landscape (Figure 3) -------------------------------------
+	seq, clean, err := cdfpoison.LossSequence(ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loss sequence over %d feasible locations (clean loss %.4f):\n", len(seq), clean)
+	// Print a compact landscape: one row per gap with its best endpoint.
+	type gapBest struct {
+		lo, hi int64
+		best   cdfpoison.LossPoint
+	}
+	var gaps []gapBest
+	for _, p := range seq {
+		if len(gaps) > 0 && p.Key == gaps[len(gaps)-1].hi+1 {
+			g := &gaps[len(gaps)-1]
+			g.hi = p.Key
+			if p.Loss > g.best.Loss {
+				g.best = p
+			}
+			continue
+		}
+		gaps = append(gaps, gapBest{lo: p.Key, hi: p.Key, best: p})
+	}
+	for _, g := range gaps {
+		marker := ""
+		if g.best.Key == sp.Key {
+			marker = "   ← chosen"
+		}
+		fmt.Printf("  gap [%3d..%3d]: max loss %.4f at key %d%s\n",
+			g.lo, g.hi, g.best.Loss, g.best.Key, marker)
+	}
+
+	// --- Greedy multi-point attack (Figure 4) ---------------------------
+	fmt.Println("\ngreedy multi-point attack, budget 15% (3 keys):")
+	atk, err := cdfpoison.GreedyMultiPoint(ks, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := atk.CleanLoss
+	for i, p := range atk.Poison {
+		fmt.Printf("  insert %3d: MSE %.4f → %.4f\n", p, loss, atk.Trajectory[i])
+		loss = atk.Trajectory[i]
+	}
+	fmt.Printf("final ratio loss: %.2f×\n", atk.RatioLoss())
+	fmt.Printf("poisoned key set: %v\n", atk.Poisoned.Keys())
+}

@@ -1,0 +1,57 @@
+// Package bench codifies every experiment of the paper's evaluation —
+// Figures 2 through 8 — plus the extensions and ablations listed in
+// DESIGN.md, as deterministic, seedable runners. The lisbench command and
+// the repository's bench_test.go are thin layers over this package.
+//
+// Scaling: the paper's largest synthetic cells use n = 10⁷ keys, which costs
+// CPU-days for the greedy RMI attack on a single core. Runners therefore
+// accept a Scale that shrinks n while preserving every ratio that drives the
+// figures' shape (density, model-size progression, poisoning percentages,
+// per-model thresholds). EXPERIMENTS.md records which scale produced each
+// reported number.
+package bench
+
+import (
+	"cdfpoison/internal/xrand"
+)
+
+// Scale selects experiment sizes.
+type Scale string
+
+const (
+	// ScaleQuick runs in seconds; used by tests and CI.
+	ScaleQuick Scale = "quick"
+	// ScaleDefault is the supported reproduction (minutes on one core).
+	ScaleDefault Scale = "default"
+	// ScaleLarge stresses the asymptotics (tens of minutes on one core).
+	ScaleLarge Scale = "large"
+)
+
+// Options configures a runner.
+type Options struct {
+	Scale Scale
+	Seed  uint64
+	// Trials overrides the per-cell repetition count (0 = scale default).
+	Trials int
+}
+
+func (o Options) fill() Options {
+	if o.Scale == "" {
+		o.Scale = ScaleDefault
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// rng derives the root RNG for a runner; each cell must Split() from it so
+// that cells are independent of iteration order.
+func (o Options) rng() *xrand.RNG { return xrand.New(o.Seed) }
+
+// CellBox couples an experiment cell's identity with the distribution of its
+// observed ratio losses.
+type CellBox struct {
+	Label  string
+	Ratios []float64
+}

@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cdfpoison/internal/btree"
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/defense"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/rmi"
+)
+
+// LookupCell compares the learned index's lookup cost before and after the
+// RMI attack, on one distribution — Extension A in DESIGN.md. This is the
+// consequence the paper motivates (poisoning degrades index performance) but
+// could only report as ratio loss; with our own RMI substrate we can measure
+// it in probes and search-window widths.
+type LookupCell struct {
+	Dist               Distribution
+	Keys               int
+	Fanout             int
+	PoisonPct          float64
+	CleanProbes        float64 // mean probes per stored-key lookup, clean index
+	PoisonedProbes     float64 // same, after retraining on K ∪ P
+	CleanAvgWindow     float64
+	PoisonedAvgWindow  float64
+	CleanMaxWindow     int
+	PoisonedMaxWindow  int
+	SecondStageMSEGain float64 // poisoned/clean second-stage MSE of the built index
+}
+
+// LookupDegradation runs Extension A for uniform and log-normal keys.
+func LookupDegradation(opts Options) ([]LookupCell, error) {
+	opts = opts.fill()
+	n := 20_000
+	if opts.Scale == ScaleQuick {
+		n = 4_000
+	}
+	const pct = 10.0
+	root := opts.rng()
+	var out []LookupCell
+	for _, dist := range []Distribution{DistUniform, DistLogNormal} {
+		rng := root.Split()
+		ks, err := dist.generate(rng, n, int64(n)*50)
+		if err != nil {
+			return nil, fmt.Errorf("bench: lookup %s: %w", dist, err)
+		}
+		fanout := n / 100
+		atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
+			NumModels: fanout,
+			Percent:   pct,
+			Alpha:     3,
+			MaxMoves:  maxMovesFor(opts.Scale, fanout),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: lookup attack %s: %w", dist, err)
+		}
+		poisoned := ks.Union(atk.Poison)
+
+		cleanIdx, err := rmi.Build(ks, rmi.Config{Fanout: fanout})
+		if err != nil {
+			return nil, err
+		}
+		// The victim retrains the index on the augmented data, as in the
+		// paper's threat model (injection happens before initialization).
+		poisIdx, err := rmi.Build(poisoned, rmi.Config{Fanout: fanout})
+		if err != nil {
+			return nil, err
+		}
+		// Query cost over the legitimate keys only: the attacker degrades
+		// the honest users' workload.
+		cleanProbes, _ := cleanIdx.AvgProbes(ks.Keys())
+		poisProbes, _ := poisIdx.AvgProbes(ks.Keys())
+		cs, ps := cleanIdx.Stats(), poisIdx.Stats()
+		cell := LookupCell{
+			Dist:              dist,
+			Keys:              n,
+			Fanout:            fanout,
+			PoisonPct:         pct,
+			CleanProbes:       cleanProbes,
+			PoisonedProbes:    poisProbes,
+			CleanAvgWindow:    cs.AvgWindow,
+			PoisonedAvgWindow: ps.AvgWindow,
+			CleanMaxWindow:    cs.MaxWindow,
+			PoisonedMaxWindow: ps.MaxWindow,
+		}
+		if cs.SecondStageMSE > 0 {
+			cell.SecondStageMSEGain = ps.SecondStageMSE / cs.SecondStageMSE
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// IndexComparison pits the clean and poisoned RMI against a B-Tree on the
+// same keys — Extension B. Probes are key comparisons for both structures.
+type IndexComparison struct {
+	Keys           int
+	RMICleanProbes float64
+	RMIPoisProbes  float64
+	BTreeProbes    float64
+	BTreeHeight    int
+	RMIMemBytes    int
+}
+
+// CompareWithBTree runs Extension B on uniform keys.
+func CompareWithBTree(opts Options) (IndexComparison, error) {
+	opts = opts.fill()
+	n := 50_000
+	if opts.Scale == ScaleQuick {
+		n = 5_000
+	}
+	rng := opts.rng()
+	ks, err := DistUniform.generate(rng, n, int64(n)*20)
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	fanout := n / 100
+	atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
+		NumModels: fanout, Percent: 10, Alpha: 3,
+		MaxMoves: maxMovesFor(opts.Scale, fanout),
+	})
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	cleanIdx, err := rmi.Build(ks, rmi.Config{Fanout: fanout})
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	poisIdx, err := rmi.Build(ks.Union(atk.Poison), rmi.Config{Fanout: fanout})
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	bt, err := btree.Bulk(32, ks.Keys())
+	if err != nil {
+		return IndexComparison{}, err
+	}
+	cleanProbes, _ := cleanIdx.AvgProbes(ks.Keys())
+	poisProbes, _ := poisIdx.AvgProbes(ks.Keys())
+	var btSum int
+	for _, k := range ks.Keys() {
+		_, p := bt.Get(k)
+		btSum += p
+	}
+	return IndexComparison{
+		Keys:           n,
+		RMICleanProbes: cleanProbes,
+		RMIPoisProbes:  poisProbes,
+		BTreeProbes:    float64(btSum) / float64(n),
+		BTreeHeight:    bt.Height(),
+		RMIMemBytes:    cleanIdx.Stats().MemoryBytes,
+	}, nil
+}
+
+// TrimCell is Extension C: the TRIM defense against the greedy CDF attack.
+type TrimCell struct {
+	Dist        Distribution
+	Keys        int
+	PoisonPct   float64
+	Precision   float64
+	Recall      float64
+	CleanLoss   float64
+	KeptLoss    float64 // loss of the set TRIM kept (collateral shows here)
+	AttackRatio float64 // ratio loss before the defense
+	AfterRatio  float64 // KeptLoss / CleanLoss: what the defense salvaged
+	Millis      int64   // wall time: the re-calibration overhead
+}
+
+// TrimDefense runs Extension C over uniform data at several poisoning rates.
+func TrimDefense(opts Options) ([]TrimCell, error) {
+	opts = opts.fill()
+	n := 1_000
+	if opts.Scale == ScaleQuick {
+		n = 300
+	}
+	root := opts.rng()
+	var out []TrimCell
+	for _, pct := range []float64{5, 10, 20} {
+		rng := root.Split()
+		clean, err := DistUniform.generate(rng, n, int64(n)*20)
+		if err != nil {
+			return nil, err
+		}
+		budget := int(float64(n) * pct / 100)
+		g, err := core.GreedyMultiPoint(clean, budget)
+		if err != nil {
+			return nil, err
+		}
+		poisonSet, err := keys.NewStrict(g.Poison)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tr, err := defense.TrimCDF(g.Poisoned, clean.Len(), defense.TrimOptions{Restarts: 2, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		ev, err := defense.Evaluate(clean, poisonSet, tr.Removed, tr.Kept)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TrimCell{
+			Dist:        DistUniform,
+			Keys:        n,
+			PoisonPct:   pct,
+			Precision:   ev.Precision,
+			Recall:      ev.Recall,
+			CleanLoss:   ev.CleanLossBefore,
+			KeptLoss:    ev.KeptLoss,
+			AttackRatio: g.RatioLoss(),
+			AfterRatio:  core.SafeRatio(ev.KeptLoss, ev.CleanLossBefore),
+			Millis:      elapsed.Milliseconds(),
+		})
+	}
+	return out, nil
+}
+
+// EndpointAblation validates and measures the Theorem 2 endpoint enumeration
+// against the brute-force sweep (Ablation 1).
+type EndpointAblation struct {
+	Keys            int
+	Domain          int64
+	OptCandidates   int
+	BruteCandidates int
+	Agree           bool
+	OptMicros       int64
+	BruteMicros     int64
+}
+
+// EndpointsVsBrute runs Ablation 1 on one uniform key set.
+func EndpointsVsBrute(opts Options) (EndpointAblation, error) {
+	opts = opts.fill()
+	n := 2_000
+	if opts.Scale == ScaleQuick {
+		n = 500
+	}
+	domain := int64(n) * 500 // low density: brute force pays for the domain
+	rng := opts.rng()
+	ks, err := DistUniform.generate(rng, n, domain)
+	if err != nil {
+		return EndpointAblation{}, err
+	}
+	start := time.Now()
+	opt, err := core.OptimalSinglePoint(ks)
+	optD := time.Since(start)
+	if err != nil {
+		return EndpointAblation{}, err
+	}
+	start = time.Now()
+	brt, err := core.BruteForceSinglePoint(ks)
+	brtD := time.Since(start)
+	if err != nil {
+		return EndpointAblation{}, err
+	}
+	agree := opt.PoisonedLoss >= brt.PoisonedLoss*(1-1e-9) &&
+		opt.PoisonedLoss <= brt.PoisonedLoss*(1+1e-9)
+	return EndpointAblation{
+		Keys:            n,
+		Domain:          domain,
+		OptCandidates:   opt.Candidates,
+		BruteCandidates: brt.Candidates,
+		Agree:           agree,
+		OptMicros:       optD.Microseconds(),
+		BruteMicros:     brtD.Microseconds(),
+	}, nil
+}
+
+// VolumeAblation compares Algorithm 2's greedy exchanges against the fixed
+// uniform allocation (the paper's "natural first attempt") — Ablation 2.
+type VolumeAblation struct {
+	Dist         Distribution
+	UniformRatio float64 // RMI ratio with exchanges disabled
+	GreedyRatio  float64 // RMI ratio with exchanges enabled
+	Moves        int
+}
+
+// VolumeAllocation runs Ablation 2 on a log-normal key set, where skewed
+// density makes allocation matter most.
+func VolumeAllocation(opts Options) (VolumeAblation, error) {
+	opts = opts.fill()
+	n := 20_000
+	if opts.Scale == ScaleQuick {
+		n = 4_000
+	}
+	rng := opts.rng()
+	ks, err := DistLogNormal.generate(rng, n, int64(n)*50)
+	if err != nil {
+		return VolumeAblation{}, err
+	}
+	N := n / 200
+	base := core.RMIAttackOptions{NumModels: N, Percent: 10, Alpha: 3,
+		MaxMoves: maxMovesFor(opts.Scale, N)}
+	off := base
+	off.DisableExchanges = true
+	uniform, err := core.RMIAttack(ks, off)
+	if err != nil {
+		return VolumeAblation{}, err
+	}
+	greedy, err := core.RMIAttack(ks, base)
+	if err != nil {
+		return VolumeAblation{}, err
+	}
+	return VolumeAblation{
+		Dist:         DistLogNormal,
+		UniformRatio: uniform.RMIRatio(),
+		GreedyRatio:  greedy.RMIRatio(),
+		Moves:        greedy.Moves,
+	}, nil
+}
+
+// AlphaCell is one row of Ablation 3: the per-model poisoning threshold.
+type AlphaCell struct {
+	Alpha     float64 // 0 = unbounded
+	RMIRatio  float64
+	MaxBudget int // largest per-model allocation the attack used
+}
+
+// AlphaSweep runs Ablation 3 on a log-normal key set with α ∈ {1, 2, 3, 0}.
+func AlphaSweep(opts Options) ([]AlphaCell, error) {
+	opts = opts.fill()
+	n := 10_000
+	if opts.Scale == ScaleQuick {
+		n = 3_000
+	}
+	rng := opts.rng()
+	ks, err := DistLogNormal.generate(rng, n, int64(n)*50)
+	if err != nil {
+		return nil, err
+	}
+	N := n / 200
+	var out []AlphaCell
+	for _, alpha := range []float64{1, 2, 3, 0} {
+		atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
+			NumModels: N, Percent: 10, Alpha: alpha,
+			MaxMoves: maxMovesFor(opts.Scale, N),
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxB := 0
+		for _, m := range atk.Models {
+			if m.Budget > maxB {
+				maxB = m.Budget
+			}
+		}
+		out = append(out, AlphaCell{Alpha: alpha, RMIRatio: atk.RMIRatio(), MaxBudget: maxB})
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package blackbox
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/xrand"
+)
+
+func buildIndex(t *testing.T, seed uint64, n, fanout int) (keys.Set, *rmi.Index) {
+	t.Helper()
+	rng := xrand.New(seed)
+	ks, err := dataset.Uniform(rng, n, int64(n)*20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := rmi.Build(ks, rmi.Config{Fanout: fanout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks, idx
+}
+
+func TestInferenceRecoversFanout(t *testing.T) {
+	ks, idx := buildIndex(t, 1, 2000, 20)
+	inf, err := InferSecondStage(idx, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct uniform partitions virtually never share an exact line, so
+	// the inferred fanout should match the architecture.
+	if inf.NumModels() != 20 {
+		t.Fatalf("inferred %d models, want 20", inf.NumModels())
+	}
+	if inf.Probes != ks.Len() {
+		t.Fatalf("probes %d, want n=%d", inf.Probes, ks.Len())
+	}
+	// Segments must partition [0, n) contiguously.
+	next := 0
+	for _, s := range inf.Segments {
+		if s.Lo != next || s.Hi < s.Lo {
+			t.Fatalf("segment gap/overlap at %d: %+v", next, s)
+		}
+		next = s.Hi + 1
+	}
+	if next != ks.Len() {
+		t.Fatalf("segments cover %d of %d keys", next, ks.Len())
+	}
+}
+
+func TestInferenceMatchesOracleExactly(t *testing.T) {
+	ks, idx := buildIndex(t, 2, 1500, 15)
+	inf, err := InferSecondStage(idx, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := Verify(idx, ks, inf); worst > 1e-6 {
+		t.Fatalf("inferred lines disagree with oracle by %v", worst)
+	}
+}
+
+func TestInferenceSegmentBoundariesMatchPartition(t *testing.T) {
+	ks, idx := buildIndex(t, 3, 1000, 10)
+	inf, err := InferSecondStage(idx, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RootPerfect partitions 1000 keys into 10 chunks of exactly 100.
+	for i, s := range inf.Segments {
+		if s.Lo != i*100 || s.Hi != i*100+99 {
+			t.Fatalf("segment %d = [%d,%d], want [%d,%d]", i, s.Lo, s.Hi, i*100, i*100+99)
+		}
+	}
+}
+
+func TestInferenceErrors(t *testing.T) {
+	_, idx := buildIndex(t, 4, 100, 4)
+	single, err := keys.New([]int64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InferSecondStage(idx, single); !errors.Is(err, ErrNoKeys) {
+		t.Fatalf("want ErrNoKeys, got %v", err)
+	}
+}
+
+func TestBlackBoxAttackMatchesWhiteBox(t *testing.T) {
+	ks, idx := buildIndex(t, 5, 2000, 20)
+	opts := core.RMIAttackOptions{Percent: 10, Alpha: 3, MaxMoves: 20}
+
+	bb, err := Attack(idx, ks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbOpts := opts
+	wbOpts.NumModels = 20
+	wb, err := core.RMIAttack(ks, wbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Inference.NumModels() != 20 {
+		t.Fatalf("inference fanout %d", bb.Inference.NumModels())
+	}
+	// Same data, same recovered architecture → identical attack outcome.
+	if !bb.Attack.Poison.Equal(wb.Poison) {
+		t.Fatal("black-box attack chose different poison keys than white-box")
+	}
+	if math.Abs(bb.Attack.RMIRatio()-wb.RMIRatio()) > 1e-12 {
+		t.Fatalf("ratios differ: %v vs %v", bb.Attack.RMIRatio(), wb.RMIRatio())
+	}
+	if bb.Attack.RMIRatio() <= 1 {
+		t.Fatalf("attack ineffective: %v", bb.Attack.RMIRatio())
+	}
+}
+
+func TestInferenceWithLinearRoot(t *testing.T) {
+	// A realistic stage-1 (linear router) produces unequal, possibly empty
+	// assignments; inference must still exactly replicate the oracle.
+	rng := xrand.New(6)
+	ks, err := dataset.LogNormal(rng, 3000, 150000, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := rmi.Build(ks, rmi.Config{Fanout: 30, Root: rmi.RootLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := InferSecondStage(idx, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := Verify(idx, ks, inf); worst > 1e-6 {
+		t.Fatalf("linear-root inference disagrees by %v", worst)
+	}
+	if inf.NumModels() < 2 {
+		t.Fatalf("implausible fanout %d", inf.NumModels())
+	}
+}
+
+func TestTrailingSingletonSegment(t *testing.T) {
+	// Craft an oracle whose last key sits alone in a segment.
+	ks, err := keys.New([]int64{0, 10, 20, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fakeOracle{f: func(k int64) float64 {
+		if k >= 1000 {
+			return 4
+		}
+		return float64(k)/10 + 1
+	}}
+	inf, err := InferSecondStage(o, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := inf.Segments[len(inf.Segments)-1]
+	if last.Lo != 3 || last.Hi != 3 {
+		t.Fatalf("trailing segment = %+v", last)
+	}
+}
+
+type fakeOracle struct{ f func(int64) float64 }
+
+func (o fakeOracle) PredictPosition(k int64) float64 { return o.f(k) }

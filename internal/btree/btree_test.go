@@ -1,0 +1,300 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cdfpoison/internal/xrand"
+)
+
+func mustTree(t *testing.T, degree int) *Tree {
+	t.Helper()
+	tr, err := New(degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadDegree(t *testing.T) {
+	for _, d := range []int{-1, 0, 1} {
+		if _, err := New(d); err == nil {
+			t.Errorf("degree %d accepted", d)
+		}
+	}
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := mustTree(t, 2)
+	keys := []int64{5, 3, 8, 1, 4, 9, 7, 2, 6, 0}
+	for i, k := range keys {
+		if !tr.Insert(k) {
+			t.Fatalf("insert %d failed", k)
+		}
+		if tr.Len() != i+1 {
+			t.Fatalf("len %d after %d inserts", tr.Len(), i+1)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		if found, _ := tr.Get(k); !found {
+			t.Errorf("key %d lost", k)
+		}
+	}
+	if found, _ := tr.Get(42); found {
+		t.Error("phantom key found")
+	}
+	if tr.Insert(5) {
+		t.Error("duplicate insert succeeded")
+	}
+	if tr.Len() != 10 {
+		t.Errorf("len %d after duplicate insert", tr.Len())
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := mustTree(t, 3)
+	rng := xrand.New(1)
+	want := xrand.SampleInt64s(rng, 500, 100000)
+	for _, k := range want {
+		tr.Insert(k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []int64
+	tr.Ascend(func(k int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := mustTree(t, 2)
+	for k := int64(0); k < 100; k++ {
+		tr.Insert(k)
+	}
+	count := 0
+	tr.Ascend(func(k int64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := mustTree(t, 2)
+	for k := int64(0); k < 100; k += 2 { // evens 0..98
+		tr.Insert(k)
+	}
+	var got []int64
+	tr.AscendRange(10, 20, func(k int64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range got %v, want %v", got, want)
+		}
+	}
+	// Empty range.
+	got = nil
+	tr.AscendRange(11, 11, func(k int64) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}
+
+func TestRank(t *testing.T) {
+	tr := mustTree(t, 2)
+	for k := int64(0); k < 200; k += 2 {
+		tr.Insert(k)
+	}
+	for _, c := range []struct {
+		k    int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {100, 50}, {199, 100}, {500, 100}} {
+		if got := tr.Rank(c.k); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestDeleteSmall(t *testing.T) {
+	tr := mustTree(t, 2)
+	keys := []int64{5, 3, 8, 1, 4, 9, 7, 2, 6, 0}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	order := []int64{5, 0, 9, 3, 7, 1, 8, 4, 2, 6}
+	for i, k := range order {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", k, err)
+		}
+		if tr.Len() != len(keys)-i-1 {
+			t.Fatalf("len %d after %d deletes", tr.Len(), i+1)
+		}
+		if found, _ := tr.Get(k); found {
+			t.Fatalf("key %d still present after delete", k)
+		}
+	}
+	if tr.Delete(5) {
+		t.Error("delete from empty tree succeeded")
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	// Mixed insert/delete/lookup workload validated against a map+slice
+	// reference, with invariant checks along the way.
+	for _, degree := range []int{2, 3, 8, 32} {
+		tr := mustTree(t, degree)
+		ref := map[int64]bool{}
+		rng := xrand.New(uint64(degree) * 97)
+		for op := 0; op < 5000; op++ {
+			k := rng.Int63n(800)
+			switch rng.Intn(3) {
+			case 0:
+				got := tr.Insert(k)
+				want := !ref[k]
+				if got != want {
+					t.Fatalf("degree %d op %d: Insert(%d) = %v, want %v", degree, op, k, got, want)
+				}
+				ref[k] = true
+			case 1:
+				got := tr.Delete(k)
+				if got != ref[k] {
+					t.Fatalf("degree %d op %d: Delete(%d) = %v, want %v", degree, op, k, got, ref[k])
+				}
+				delete(ref, k)
+			default:
+				got, _ := tr.Get(k)
+				if got != ref[k] {
+					t.Fatalf("degree %d op %d: Get(%d) = %v, want %v", degree, op, k, got, ref[k])
+				}
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("degree %d op %d: len %d, want %d", degree, op, tr.Len(), len(ref))
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("degree %d final invariants: %v", degree, err)
+		}
+		// Rank cross-check on the final state.
+		var sorted []int64
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, k := range sorted {
+			if got := tr.Rank(k); got != i {
+				t.Fatalf("degree %d: Rank(%d) = %d, want %d", degree, k, got, i)
+			}
+		}
+	}
+}
+
+func TestQuickInsertAll(t *testing.T) {
+	f := func(raw []int64) bool {
+		tr, err := New(4)
+		if err != nil {
+			return false
+		}
+		ref := map[int64]bool{}
+		for _, k := range raw {
+			tr.Insert(k)
+			ref[k] = true
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if found, _ := tr.Get(k); !found {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := mustTree(t, 32)
+	rng := xrand.New(3)
+	for _, k := range xrand.SampleInt64s(rng, 100000, 1<<40) {
+		tr.Insert(k)
+	}
+	if h := tr.Height(); h > 4 {
+		t.Errorf("height %d too large for degree-32 tree with 1e5 keys", h)
+	}
+}
+
+func TestGetProbesBounded(t *testing.T) {
+	tr := mustTree(t, 32)
+	rng := xrand.New(4)
+	ks := xrand.SampleInt64s(rng, 50000, 1<<40)
+	for _, k := range ks {
+		tr.Insert(k)
+	}
+	worst := 0
+	for _, k := range ks[:1000] {
+		found, probes := tr.Get(k)
+		if !found {
+			t.Fatalf("key %d lost", k)
+		}
+		if probes > worst {
+			worst = probes
+		}
+	}
+	// Each level costs ~log2(2*32) ≈ 6 comparisons; 4 levels ≈ 24.
+	if worst > 30 {
+		t.Errorf("worst-case probes %d implausibly high", worst)
+	}
+}
+
+func TestBulk(t *testing.T) {
+	ks := []int64{9, 1, 5, 3}
+	tr, err := Bulk(2, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 || !tr.Contains(3) {
+		t.Fatal("bulk build wrong")
+	}
+	if _, err := Bulk(1, ks); err == nil {
+		t.Fatal("bad degree accepted")
+	}
+}
+
+func TestEmptyTreeOps(t *testing.T) {
+	tr := mustTree(t, 2)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Error("empty tree shape wrong")
+	}
+	if found, _ := tr.Get(1); found {
+		t.Error("empty tree found a key")
+	}
+	if tr.Rank(10) != 0 {
+		t.Error("empty tree rank wrong")
+	}
+	tr.Ascend(func(int64) bool { t.Error("empty tree iterated"); return false })
+}

@@ -1,0 +1,4 @@
+package btree
+
+// CheckInvariants exposes the internal structural validator to tests.
+func (t *Tree) CheckInvariants() error { return t.checkInvariants() }

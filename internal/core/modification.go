@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"cdfpoison/internal/keys"
+)
+
+// The modification adversary — the third capability the paper's future-work
+// list names ("adversaries that are capable of removing and modify[ing]
+// keys", Section VI). A modification is modeled as one deletion plus one
+// insertion, keeping the key count constant: the attacker controls records
+// it contributed earlier and rewrites their keys before the index retrains.
+
+// ModificationStep records one applied modification.
+type ModificationStep struct {
+	Removed  int64
+	Inserted int64
+	Loss     float64 // MSE after this modification
+}
+
+// ModificationResult describes a greedy multi-modification attack.
+type ModificationResult struct {
+	Steps     []ModificationStep
+	Modified  keys.Set // the key set after all modifications
+	CleanLoss float64
+	Stopped   bool // ended early: no modification could increase the loss
+}
+
+// FinalLoss returns the MSE after the last applied modification.
+func (m ModificationResult) FinalLoss() float64 {
+	if len(m.Steps) == 0 {
+		return m.CleanLoss
+	}
+	return m.Steps[len(m.Steps)-1].Loss
+}
+
+// RatioLoss returns FinalLoss/CleanLoss.
+func (m ModificationResult) RatioLoss() float64 { return SafeRatio(m.FinalLoss(), m.CleanLoss) }
+
+// GreedyModification applies up to p key modifications, each chosen
+// greedily: first the optimal single removal against the current set, then
+// the optimal single insertion against the survivor set (each O(n), so a
+// step costs O(n) like the base attacks). The pair is applied only if the
+// resulting loss exceeds the current loss, so the trajectory is
+// non-decreasing and the ratio is >= 1.
+//
+// The pairwise-greedy choice is a heuristic — the jointly optimal
+// (removal, insertion) pair would cost O(n²) per step — mirroring the
+// paper's greedy treatment of the multi-point problem.
+func GreedyModification(ks keys.Set, p int) (ModificationResult, error) {
+	if p < 0 {
+		return ModificationResult{}, fmt.Errorf("core: negative modification budget %d", p)
+	}
+	if ks.Len() < 3 {
+		return ModificationResult{}, ErrTooFew
+	}
+	res := ModificationResult{Modified: ks}
+	first, err := OptimalSingleRemoval(ks)
+	if err != nil {
+		return ModificationResult{}, err
+	}
+	res.CleanLoss = first.CleanLoss
+	current := res.CleanLoss
+
+	for j := 0; j < p; j++ {
+		if res.Modified.Len() < 3 {
+			res.Stopped = true
+			break
+		}
+		rem, err := OptimalSingleRemoval(res.Modified)
+		if err != nil {
+			return ModificationResult{}, err
+		}
+		survivors, err := without(res.Modified, rem.Key)
+		if err != nil {
+			return ModificationResult{}, err
+		}
+		ins, err := OptimalSinglePoint(survivors)
+		if err != nil {
+			// Saturated survivor set: fall back to pure removal only if it
+			// still helps; otherwise stop.
+			if rem.PoisonedLoss >= current {
+				res.Modified = survivors
+				res.Steps = append(res.Steps, ModificationStep{
+					Removed: rem.Key, Inserted: -1, Loss: rem.PoisonedLoss,
+				})
+				current = rem.PoisonedLoss
+				continue
+			}
+			res.Stopped = true
+			break
+		}
+		if ins.PoisonedLoss < current {
+			res.Stopped = true
+			break
+		}
+		next, ok := survivors.Insert(ins.Key)
+		if !ok {
+			return ModificationResult{}, fmt.Errorf("core: modification bookkeeping: key %d occupied", ins.Key)
+		}
+		res.Modified = next
+		res.Steps = append(res.Steps, ModificationStep{
+			Removed: rem.Key, Inserted: ins.Key, Loss: ins.PoisonedLoss,
+		})
+		current = ins.PoisonedLoss
+	}
+	return res, nil
+}
+
+// without returns ks minus one key.
+func without(ks keys.Set, k int64) (keys.Set, error) {
+	out := make([]int64, 0, ks.Len()-1)
+	for _, v := range ks.Keys() {
+		if v != k {
+			out = append(out, v)
+		}
+	}
+	return keys.NewStrict(out)
+}

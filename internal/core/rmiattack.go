@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdfpoison/internal/keys"
+)
+
+// RMIAttackOptions parameterizes Algorithm 2 (GreedyPoisoningRMI).
+type RMIAttackOptions struct {
+	// NumModels is the number N of second-stage models (the RMI fanout).
+	NumModels int
+	// Percent is the overall poisoning percentage φ·100 relative to the
+	// number of legitimate keys; the paper evaluates 1–20%.
+	Percent float64
+	// Alpha is the per-model threshold multiplier: each model may receive at
+	// most t = ceil(Alpha·φ·n/N) poisoning keys (Section V, "Poisoning
+	// Threshold per Regression Model"). Alpha <= 0 disables the cap
+	// (used by the ablation).
+	Alpha float64
+	// Epsilon is the termination bound: the greedy exchange loop stops when
+	// the best available move improves the summed second-stage loss by less
+	// than Epsilon. Defaults to 1e-9 when zero.
+	Epsilon float64
+	// MaxMoves bounds the number of greedy exchanges; 0 means the default
+	// 8·N. Exchanges also stop when no move clears Epsilon.
+	MaxMoves int
+	// DisableExchanges skips the exchange phase entirely, leaving the
+	// uniform "natural first attempt" allocation — the volume-allocation
+	// ablation baseline.
+	DisableExchanges bool
+}
+
+func (o RMIAttackOptions) validate(n int) error {
+	if o.NumModels < 1 {
+		return fmt.Errorf("core: RMI attack needs NumModels >= 1, got %d", o.NumModels)
+	}
+	if o.NumModels > n {
+		return fmt.Errorf("core: NumModels %d exceeds key count %d", o.NumModels, n)
+	}
+	if o.Percent <= 0 || o.Percent > 100 {
+		return fmt.Errorf("core: poisoning percent must be in (0, 100], got %v", o.Percent)
+	}
+	return nil
+}
+
+// ModelReport describes one second-stage model after the attack.
+type ModelReport struct {
+	Index        int     // model position in the second stage
+	LegitKeys    int     // legitimate keys assigned after boundary moves
+	Budget       int     // poisoning keys allocated by volume allocation
+	Injected     int     // poisoning keys actually inserted (≤ Budget)
+	CleanLoss    float64 // MSE of the model trained on its legit keys only
+	PoisonedLoss float64 // MSE of the model trained on legit ∪ poison
+	RatioLoss    float64 // PoisonedLoss / CleanLoss (SafeRatio convention)
+	Poison       []int64 // injected keys, in insertion order
+}
+
+// RMIAttackResult is the outcome of Algorithm 2.
+type RMIAttackResult struct {
+	Models []ModelReport
+	// Poison is the union of all injected keys.
+	Poison keys.Set
+	// CleanRMILoss is L_RMI of the unpoisoned index: the mean second-stage
+	// loss over the ORIGINAL equal-size partitioning of K (the baseline the
+	// paper's black horizontal line divides by).
+	CleanRMILoss float64
+	// PoisonedRMILoss is the mean second-stage loss after the attack.
+	PoisonedRMILoss float64
+	// Budget and Injected are the requested (φ·n) and achieved totals.
+	Budget, Injected int
+	// Moves counts applied greedy exchanges; Threshold is t.
+	Moves, Threshold int
+}
+
+// RMIRatio returns PoisonedRMILoss/CleanRMILoss, the paper's headline metric
+// for the two-stage attack (up to 300× on synthetic log-normal data).
+func (r RMIAttackResult) RMIRatio() float64 { return SafeRatio(r.PoisonedRMILoss, r.CleanRMILoss) }
+
+// PerModelRatios returns the ratio losses of all models that admit a finite
+// ratio, the series summarized by the paper's boxplots.
+func (r RMIAttackResult) PerModelRatios() []float64 {
+	out := make([]float64, 0, len(r.Models))
+	for _, m := range r.Models {
+		if !math.IsInf(m.RatioLoss, 0) && !math.IsNaN(m.RatioLoss) {
+			out = append(out, m.RatioLoss)
+		}
+	}
+	return out
+}
+
+// memoKey identifies a (key range, budget) attack evaluation. Boundary
+// moves shift ranges by single keys, so the exchange loop re-queries the
+// same triples constantly; memoization turns that into cache hits.
+type memoKey struct {
+	lo, hi, budget int
+}
+
+type memoVal struct {
+	loss     float64
+	injected int
+}
+
+// rmiAttackState carries Algorithm 2's mutable state.
+type rmiAttackState struct {
+	ks     keys.Set
+	n      int
+	N      int
+	bounds []int // model i owns sorted positions [bounds[i], bounds[i+1])
+	budget []int
+	loss   []float64 // current poisoned loss per model
+	thresh int
+	memo   map[memoKey]memoVal
+}
+
+// evalRange runs the greedy attack (Algorithm 1) on the key range
+// [lo, hi) with the given budget, memoized. Degenerate ranges (< 2 keys)
+// evaluate to zero loss and zero injections.
+func (st *rmiAttackState) evalRange(lo, hi, budget int) memoVal {
+	k := memoKey{lo, hi, budget}
+	if v, ok := st.memo[k]; ok {
+		return v
+	}
+	var v memoVal
+	if hi-lo >= 2 {
+		sub := st.ks.Slice(lo, hi)
+		g, err := GreedyMultiPoint(sub, budget)
+		if err != nil {
+			// Only ErrTooFew is possible here and the guard above excludes
+			// it; treat any residual error as a zero-effect evaluation.
+			v = memoVal{}
+		} else {
+			v = memoVal{loss: g.FinalLoss(), injected: len(g.Poison)}
+		}
+	}
+	st.memo[k] = v
+	return v
+}
+
+// exchange describes one candidate CHANGELOSS entry: moving a poisoning-key
+// slot across the boundary between models i and i+1, paired with the reverse
+// move of one boundary legitimate key, keeping every model's total size
+// fixed (Section V-A).
+type exchange struct {
+	valid  bool
+	delta  float64 // change in Σ second-stage losses if applied
+	li, lj float64 // hypothetical new losses of models i and i+1
+}
+
+// computeForward evaluates the i → i+1 exchange: model i+1 gains a poison
+// slot and loses its smallest legitimate key to model i; model i loses a
+// poison slot.
+func (st *rmiAttackState) computeForward(i int) exchange {
+	if st.budget[i] < 1 {
+		return exchange{}
+	}
+	if st.thresh > 0 && st.budget[i+1]+1 > st.thresh {
+		return exchange{}
+	}
+	// Model i+1 must retain at least 2 legitimate keys to stay a regression.
+	if st.bounds[i+2]-(st.bounds[i+1]+1) < 2 {
+		return exchange{}
+	}
+	li := st.evalRange(st.bounds[i], st.bounds[i+1]+1, st.budget[i]-1)
+	lj := st.evalRange(st.bounds[i+1]+1, st.bounds[i+2], st.budget[i+1]+1)
+	return exchange{
+		valid: true,
+		delta: (li.loss + lj.loss) - (st.loss[i] + st.loss[i+1]),
+		li:    li.loss,
+		lj:    lj.loss,
+	}
+}
+
+// computeBackward evaluates the i ← i+1 exchange: model i gains a poison
+// slot and its largest legitimate key migrates to model i+1; model i+1 loses
+// a poison slot.
+func (st *rmiAttackState) computeBackward(i int) exchange {
+	if st.budget[i+1] < 1 {
+		return exchange{}
+	}
+	if st.thresh > 0 && st.budget[i]+1 > st.thresh {
+		return exchange{}
+	}
+	if (st.bounds[i+1]-1)-st.bounds[i] < 2 {
+		return exchange{}
+	}
+	li := st.evalRange(st.bounds[i], st.bounds[i+1]-1, st.budget[i]+1)
+	lj := st.evalRange(st.bounds[i+1]-1, st.bounds[i+2], st.budget[i+1]-1)
+	return exchange{
+		valid: true,
+		delta: (li.loss + lj.loss) - (st.loss[i] + st.loss[i+1]),
+		li:    li.loss,
+		lj:    lj.loss,
+	}
+}
+
+// RMIAttack implements Algorithm 2 (GreedyPoisoningRMI): poison the
+// second-stage linear regression models of a two-stage RMI built over ks.
+//
+// Phases:
+//  1. Partition K into N equal contiguous chunks (the designer's
+//     initialization step) and give each model φ·n/N poisoning keys,
+//     injected by Algorithm 1 ("Initial Volume Allocation").
+//  2. Populate the CHANGELOSS table for every adjacent-model exchange in
+//     both directions.
+//  3. Greedily apply the exchange with the largest positive loss change,
+//     subject to the per-model threshold t = ceil(α·φ·n/N); after each move
+//     only the ≤6 entries referencing the touched models are recomputed.
+//  4. Stop when the best move improves by less than ε or MaxMoves is hit.
+//
+// The returned result contains per-model reports, the union of poisoning
+// keys, and the RMI-level loss ratio.
+func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
+	n := ks.Len()
+	if err := opts.validate(n); err != nil {
+		return RMIAttackResult{}, err
+	}
+	N := opts.NumModels
+	total := int(math.Round(opts.Percent / 100 * float64(n)))
+	if total < 1 {
+		return RMIAttackResult{}, fmt.Errorf("core: poisoning budget rounds to zero (n=%d, percent=%v)", n, opts.Percent)
+	}
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = 1e-9
+	}
+	maxMoves := opts.MaxMoves
+	if maxMoves == 0 {
+		maxMoves = 8 * N
+	}
+
+	st := &rmiAttackState{
+		ks:     ks,
+		n:      n,
+		N:      N,
+		bounds: make([]int, N+1),
+		budget: make([]int, N),
+		loss:   make([]float64, N),
+		memo:   make(map[memoKey]memoVal, 4*N),
+	}
+
+	// Equal-size contiguous partitioning, first n%N chunks one key larger
+	// (matching keys.Set.Partition).
+	base, extra := n/N, n%N
+	for i := 0; i < N; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		st.bounds[i+1] = st.bounds[i] + size
+	}
+
+	// Uniform initial budget, remainder spread over the first models.
+	bBase, bExtra := total/N, total%N
+	for i := 0; i < N; i++ {
+		st.budget[i] = bBase
+		if i < bExtra {
+			st.budget[i]++
+		}
+	}
+
+	// Per-model threshold t = ceil(α·φ·n/N). The uniform share is φ·n/N, so
+	// α=2,3 allow skewing up to 2–3× the even split.
+	if opts.Alpha > 0 {
+		st.thresh = int(math.Ceil(opts.Alpha * float64(total) / float64(N)))
+		if st.thresh < 1 {
+			st.thresh = 1
+		}
+		// An initial remainder bump may not exceed t; clamp defensively and
+		// return surplus to the largest-room models.
+		surplus := 0
+		for i := range st.budget {
+			if st.budget[i] > st.thresh {
+				surplus += st.budget[i] - st.thresh
+				st.budget[i] = st.thresh
+			}
+		}
+		for i := 0; i < N && surplus > 0; i++ {
+			room := st.thresh - st.budget[i]
+			if room > 0 {
+				add := room
+				if add > surplus {
+					add = surplus
+				}
+				st.budget[i] += add
+				surplus -= add
+			}
+		}
+	}
+
+	// Clean RMI loss on the original partitioning (the attack baseline).
+	cleanSum := 0.0
+	for i := 0; i < N; i++ {
+		cleanSum += st.evalRange(st.bounds[i], st.bounds[i+1], 0).loss
+	}
+	cleanRMI := cleanSum / float64(N)
+
+	// Phase 1: initial volume allocation via Algorithm 1 on every model.
+	for i := 0; i < N; i++ {
+		st.loss[i] = st.evalRange(st.bounds[i], st.bounds[i+1], st.budget[i]).loss
+	}
+
+	// Phases 2–4: CHANGELOSS table + greedy exchanges.
+	moves := 0
+	if !opts.DisableExchanges && N > 1 {
+		fwd := make([]exchange, N-1)
+		bwd := make([]exchange, N-1)
+		for i := 0; i < N-1; i++ {
+			fwd[i] = st.computeForward(i)
+			bwd[i] = st.computeBackward(i)
+		}
+		for moves < maxMoves {
+			bestDelta := eps
+			bestIdx, bestDir := -1, 0
+			for i := 0; i < N-1; i++ {
+				if fwd[i].valid && fwd[i].delta > bestDelta {
+					bestDelta, bestIdx, bestDir = fwd[i].delta, i, +1
+				}
+				if bwd[i].valid && bwd[i].delta > bestDelta {
+					bestDelta, bestIdx, bestDir = bwd[i].delta, i, -1
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			i := bestIdx
+			if bestDir > 0 {
+				st.loss[i], st.loss[i+1] = fwd[i].li, fwd[i].lj
+				st.bounds[i+1]++
+				st.budget[i]--
+				st.budget[i+1]++
+			} else {
+				st.loss[i], st.loss[i+1] = bwd[i].li, bwd[i].lj
+				st.bounds[i+1]--
+				st.budget[i]++
+				st.budget[i+1]--
+			}
+			moves++
+			// Only entries referencing models i−1, i, i+1, i+2 changed.
+			for _, j := range []int{i - 1, i, i + 1} {
+				if j >= 0 && j < N-1 {
+					fwd[j] = st.computeForward(j)
+					bwd[j] = st.computeBackward(j)
+				}
+			}
+		}
+	}
+
+	// Materialize the final attack: per-model poison keys and reports.
+	res := RMIAttackResult{
+		Models:       make([]ModelReport, N),
+		CleanRMILoss: cleanRMI,
+		Budget:       total,
+		Moves:        moves,
+		Threshold:    st.thresh,
+	}
+	poisonedSum := 0.0
+	var allPoison []int64
+	for i := 0; i < N; i++ {
+		lo, hi := st.bounds[i], st.bounds[i+1]
+		rep := ModelReport{
+			Index:     i,
+			LegitKeys: hi - lo,
+			Budget:    st.budget[i],
+		}
+		rep.CleanLoss = st.evalRange(lo, hi, 0).loss
+		if hi-lo >= 2 && st.budget[i] > 0 {
+			g, err := GreedyMultiPoint(st.ks.Slice(lo, hi), st.budget[i])
+			if err != nil && !errors.Is(err, ErrNoGap) {
+				return RMIAttackResult{}, fmt.Errorf("core: final attack on model %d: %w", i, err)
+			}
+			if err == nil {
+				rep.Injected = len(g.Poison)
+				rep.Poison = g.Poison
+				rep.PoisonedLoss = g.FinalLoss()
+			} else {
+				rep.PoisonedLoss = rep.CleanLoss
+			}
+		} else {
+			rep.PoisonedLoss = rep.CleanLoss
+		}
+		rep.RatioLoss = SafeRatio(rep.PoisonedLoss, rep.CleanLoss)
+		poisonedSum += rep.PoisonedLoss
+		res.Injected += rep.Injected
+		allPoison = append(allPoison, rep.Poison...)
+		res.Models[i] = rep
+	}
+	res.PoisonedRMILoss = poisonedSum / float64(N)
+	ps, err := keys.NewStrict(allPoison)
+	if err != nil {
+		return RMIAttackResult{}, fmt.Errorf("core: poison keys collide across models: %w", err)
+	}
+	res.Poison = ps
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
+)
+
+// LossPoint is one evaluation of the loss sequence L(kp): the MSE of the
+// optimal regression re-trained on K ∪ {kp}.
+type LossPoint struct {
+	Key  int64
+	Loss float64
+}
+
+// LossSequence evaluates L(kp) for every unoccupied interior key kp, in
+// increasing key order — the sequence plotted in Figure 3. Cost is
+// O(n + f) where f is the number of free interior slots (the paper's
+// O(m + n) once the prefix trick replaces from-scratch refits).
+//
+// The second return value is the clean (pre-poisoning) loss, drawn as the
+// horizontal reference line in the figure.
+func LossSequence(ks keys.Set) ([]LossPoint, float64, error) {
+	if ks.Len() < 2 {
+		return nil, 0, ErrTooFew
+	}
+	pre, err := regression.NewPrefix(ks)
+	if err != nil {
+		return nil, 0, err
+	}
+	var seq []LossPoint
+	for i := 0; i+1 < ks.Len(); i++ {
+		pos := i + 1
+		for k := ks.At(i) + 1; k < ks.At(i+1); k++ {
+			seq = append(seq, LossPoint{Key: k, Loss: pre.PoisonedLoss(k, pos)})
+		}
+	}
+	if len(seq) == 0 {
+		return nil, 0, ErrNoGap
+	}
+	return seq, pre.CleanLoss(), nil
+}
+
+// DiscreteDerivative returns ΔA(i) = A(i+1) − A(i) over consecutive entries
+// of the loss sequence (Definition 3). The derivative point is attributed to
+// the left key. Non-adjacent keys (separated by an occupied slot) still form
+// consecutive sequence entries, matching the paper's sequence-of-candidates
+// view.
+func DiscreteDerivative(seq []LossPoint) []LossPoint {
+	if len(seq) < 2 {
+		return nil
+	}
+	out := make([]LossPoint, 0, len(seq)-1)
+	for i := 0; i+1 < len(seq); i++ {
+		out = append(out, LossPoint{Key: seq[i].Key, Loss: seq[i+1].Loss - seq[i].Loss})
+	}
+	return out
+}
+
+// GapConvexityReport summarizes, for one gap, how far the interior maximum
+// of the loss sequence exceeds the best endpoint. Theorem 2 predicts
+// Excess <= 0 up to floating-point noise for every gap.
+type GapConvexityReport struct {
+	Gap         keys.Gap
+	EndpointMax float64 // max(L(lo), L(hi))
+	InteriorMax float64 // max over keys strictly inside the gap
+	Excess      float64 // InteriorMax − EndpointMax (≤ ~0 when the corollary holds)
+}
+
+// CheckGapConvexity evaluates the Theorem 2 corollary — "the maximum loss
+// for each convex subsequence is given either by the first or the last
+// poisoning key of its domain" — on every gap of the set. It returns one
+// report per gap that has interior keys (width ≥ 3). Used by property tests
+// and by the lisbench convexity ablation.
+func CheckGapConvexity(ks keys.Set) ([]GapConvexityReport, error) {
+	if ks.Len() < 2 {
+		return nil, ErrTooFew
+	}
+	pre, err := regression.NewPrefix(ks)
+	if err != nil {
+		return nil, err
+	}
+	var reports []GapConvexityReport
+	for _, g := range ks.Gaps() {
+		if g.Width() < 3 {
+			continue
+		}
+		pos := g.Rank - 1
+		epMax := pre.PoisonedLoss(g.Lo, pos)
+		if l := pre.PoisonedLoss(g.Hi, pos); l > epMax {
+			epMax = l
+		}
+		inMax := 0.0
+		first := true
+		for k := g.Lo + 1; k < g.Hi; k++ {
+			l := pre.PoisonedLoss(k, pos)
+			if first || l > inMax {
+				inMax, first = l, false
+			}
+		}
+		reports = append(reports, GapConvexityReport{
+			Gap:         g,
+			EndpointMax: epMax,
+			InteriorMax: inMax,
+			Excess:      inMax - epMax,
+		})
+	}
+	return reports, nil
+}

@@ -1,0 +1,214 @@
+// Package core implements the paper's primary contribution: poisoning
+// attacks against linear regression models trained on CDFs, and their
+// extension to the two-stage recursive model index (RMI).
+//
+// Contents:
+//
+//   - OptimalSinglePoint — Section IV-C: the O(n) optimal single-key attack,
+//     exploiting the convexity of the loss sequence on each gap (Theorem 2)
+//     to test only gap endpoints, each in O(1).
+//   - BruteForceSinglePoint — the paper's "first attempt" oracle, used to
+//     validate optimality and as the ablation baseline.
+//   - GreedyMultiPoint — Algorithm 1: repeated locally-optimal insertion.
+//   - LossSequence / DiscreteDerivative — the Figure 3 instrumentation.
+//   - RMIAttack — Algorithm 2: greedy volume allocation across second-stage
+//     models with per-model thresholds (in rmiattack.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
+)
+
+// ErrNoGap is returned when the key set has no unoccupied interior key, so
+// no in-range poisoning key exists (the paper's feasibility constraint).
+var ErrNoGap = errors.New("core: key set is saturated; no in-range poisoning key exists")
+
+// ErrTooFew is returned when the key set is too small to attack (< 2 keys).
+var ErrTooFew = errors.New("core: need at least two keys to poison a regression")
+
+// SinglePointResult describes the outcome of a single-key attack.
+type SinglePointResult struct {
+	Key          int64   // the chosen poisoning key
+	Rank         int     // 1-based rank the key takes upon insertion
+	CleanLoss    float64 // MSE of the optimal regression before poisoning
+	PoisonedLoss float64 // MSE of the optimal regression after poisoning
+	Candidates   int     // number of candidate locations evaluated
+}
+
+// RatioLoss returns PoisonedLoss/CleanLoss, the paper's evaluation metric.
+// A zero clean loss with positive poisoned loss yields +Inf.
+func (r SinglePointResult) RatioLoss() float64 { return SafeRatio(r.PoisonedLoss, r.CleanLoss) }
+
+// SafeRatio returns poisoned/clean with the convention 0/0 = 1, x/0 = +Inf.
+// (A clean loss of exactly zero happens only on perfectly linear CDFs, e.g.
+// runs of consecutive integers.)
+func SafeRatio(poisoned, clean float64) float64 {
+	if clean == 0 {
+		if poisoned == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return poisoned / clean
+}
+
+// OptimalSinglePoint finds the in-range poisoning key that maximizes the MSE
+// of the re-trained regression, in O(n) after the O(n) prefix build.
+//
+// By Theorem 2 the loss sequence restricted to one gap (a maximal run of
+// unoccupied keys) is convex, so its maximum over the gap is attained at one
+// of the two endpoints; the attack therefore evaluates at most 2(n−1)
+// candidates, each in O(1) via regression.Prefix.
+//
+// Ties are broken toward the smaller key so results are deterministic.
+func OptimalSinglePoint(ks keys.Set) (SinglePointResult, error) {
+	if ks.Len() < 2 {
+		return SinglePointResult{}, ErrTooFew
+	}
+	pre, err := regression.NewPrefix(ks)
+	if err != nil {
+		return SinglePointResult{}, err
+	}
+	return optimalSinglePointPrefix(pre)
+}
+
+// optimalSinglePointPrefix is the inner loop shared with the greedy attack,
+// which already holds a Prefix for the current (partially poisoned) set.
+func optimalSinglePointPrefix(pre *regression.Prefix) (SinglePointResult, error) {
+	ks := pre.Set()
+	res := SinglePointResult{CleanLoss: pre.CleanLoss(), PoisonedLoss: -1}
+	for i := 0; i+1 < ks.Len(); i++ {
+		lo, hi := ks.At(i)+1, ks.At(i+1)-1
+		if lo > hi {
+			continue // no gap between these neighbours
+		}
+		pos := i + 1 // keys strictly smaller than any key in this gap
+		if l := pre.PoisonedLoss(lo, pos); l > res.PoisonedLoss {
+			res.Key, res.Rank, res.PoisonedLoss = lo, pos+1, l
+		}
+		res.Candidates++
+		if hi != lo {
+			if l := pre.PoisonedLoss(hi, pos); l > res.PoisonedLoss {
+				res.Key, res.Rank, res.PoisonedLoss = hi, pos+1, l
+			}
+			res.Candidates++
+		}
+	}
+	if res.PoisonedLoss < 0 {
+		return SinglePointResult{}, ErrNoGap
+	}
+	return res, nil
+}
+
+// BruteForceSinglePoint evaluates EVERY unoccupied interior key — the
+// paper's "first attempt". With the O(1) per-candidate evaluation this is
+// O(m + n) rather than the naive O(m·n), but it still touches the whole key
+// domain; it exists as the correctness oracle for OptimalSinglePoint and as
+// the measured baseline of the endpoint-enumeration ablation.
+func BruteForceSinglePoint(ks keys.Set) (SinglePointResult, error) {
+	if ks.Len() < 2 {
+		return SinglePointResult{}, ErrTooFew
+	}
+	pre, err := regression.NewPrefix(ks)
+	if err != nil {
+		return SinglePointResult{}, err
+	}
+	res := SinglePointResult{CleanLoss: pre.CleanLoss(), PoisonedLoss: -1}
+	for i := 0; i+1 < ks.Len(); i++ {
+		pos := i + 1
+		for k := ks.At(i) + 1; k < ks.At(i+1); k++ {
+			if l := pre.PoisonedLoss(k, pos); l > res.PoisonedLoss {
+				res.Key, res.Rank, res.PoisonedLoss = k, pos+1, l
+			}
+			res.Candidates++
+		}
+	}
+	if res.PoisonedLoss < 0 {
+		return SinglePointResult{}, ErrNoGap
+	}
+	return res, nil
+}
+
+// GreedyResult describes a multi-point attack (Algorithm 1).
+type GreedyResult struct {
+	Poison     []int64   // poisoning keys in insertion order
+	Poisoned   keys.Set  // K ∪ P
+	CleanLoss  float64   // MSE before any poisoning
+	Trajectory []float64 // MSE after the 1st, 2nd, … insertion
+	Truncated  bool      // true if the domain saturated before p keys fit
+	// Stopped is true when the attack ended early because even the optimal
+	// next insertion would have DECREASED the loss. The paper's pseudocode
+	// inserts exactly p keys, but Definition 2 only constrains |P| <= λ; on
+	// dense, strongly non-linear CDFs (e.g. 80%-density normal keys) every
+	// feasible insertion straightens the CDF, so a rational attacker keeps
+	// the smaller poison set. Stopping at the first harmful step makes the
+	// trajectory non-decreasing and guarantees RatioLoss() >= 1.
+	Stopped bool
+}
+
+// FinalLoss returns the MSE after the last insertion (CleanLoss when no key
+// could be inserted).
+func (g GreedyResult) FinalLoss() float64 {
+	if len(g.Trajectory) == 0 {
+		return g.CleanLoss
+	}
+	return g.Trajectory[len(g.Trajectory)-1]
+}
+
+// RatioLoss returns FinalLoss/CleanLoss, the paper's evaluation metric.
+func (g GreedyResult) RatioLoss() float64 { return SafeRatio(g.FinalLoss(), g.CleanLoss) }
+
+// GreedyMultiPoint implements Algorithm 1: insert p poisoning keys, each
+// chosen by the optimal single-point attack against the current augmented
+// set. Runs in O(p·n). If the key domain saturates early the result is
+// truncated rather than failing: the attacker simply has nowhere left to
+// inject, which the RMI volume allocator must be able to observe.
+func GreedyMultiPoint(ks keys.Set, p int) (GreedyResult, error) {
+	if p < 0 {
+		return GreedyResult{}, fmt.Errorf("core: negative poison budget %d", p)
+	}
+	if ks.Len() < 2 {
+		return GreedyResult{}, ErrTooFew
+	}
+	pre, err := regression.NewPrefix(ks)
+	if err != nil {
+		return GreedyResult{}, err
+	}
+	res := GreedyResult{
+		CleanLoss: pre.CleanLoss(),
+		Poisoned:  ks,
+	}
+	current := res.CleanLoss
+	for j := 0; j < p; j++ {
+		step, err := optimalSinglePointPrefix(pre)
+		if errors.Is(err, ErrNoGap) {
+			res.Truncated = true
+			break
+		}
+		if err != nil {
+			return GreedyResult{}, err
+		}
+		if step.PoisonedLoss < current {
+			res.Stopped = true
+			break
+		}
+		current = step.PoisonedLoss
+		next, ok := res.Poisoned.Insert(step.Key)
+		if !ok {
+			return GreedyResult{}, fmt.Errorf("core: internal error: chosen poison key %d already present", step.Key)
+		}
+		res.Poisoned = next
+		res.Poison = append(res.Poison, step.Key)
+		res.Trajectory = append(res.Trajectory, step.PoisonedLoss)
+		pre, err = regression.NewPrefix(res.Poisoned)
+		if err != nil {
+			return GreedyResult{}, err
+		}
+	}
+	return res, nil
+}

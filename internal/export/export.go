@@ -1,0 +1,248 @@
+// Package export renders experiment results: CSV files for downstream
+// plotting, and ASCII tables, boxplots, and line charts so that every figure
+// of the paper can be inspected directly in a terminal (the lisbench tool
+// emits both forms).
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cdfpoison/internal/stats"
+)
+
+// WriteCSV writes a header plus rows. Cells are stringified by the caller.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("export: csv header: %w", err)
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("export: row %d has %d cells, header has %d", i, len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("export: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float compactly for tables and CSV (6 significant digits).
+func F(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	default:
+		return fmt.Sprintf("%.6g", v)
+	}
+}
+
+// Table accumulates rows and renders a monospace-aligned ASCII table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV returns the table contents as header+rows for WriteCSV.
+func (t *Table) CSV() ([]string, [][]string) { return t.header, t.rows }
+
+// RenderBoxplot draws one horizontal ASCII boxplot scaled to [lo, hi]:
+//
+//	|----[==M==]------|        · outliers
+//
+// width is the number of character cells the axis occupies (>= 10).
+func RenderBoxplot(b stats.Boxplot, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	cell := func(v float64) int {
+		p := (v - lo) / (hi - lo)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		c := int(p * float64(width-1))
+		return c
+	}
+	buf := make([]byte, width)
+	for i := range buf {
+		buf[i] = ' '
+	}
+	set := func(i int, c byte) {
+		if i >= 0 && i < width {
+			buf[i] = c
+		}
+	}
+	wLo, q1, med, q3, wHi := cell(b.WhiskerLo), cell(b.Q1), cell(b.Median), cell(b.Q3), cell(b.WhiskerHi)
+	for i := wLo; i <= wHi; i++ {
+		set(i, '-')
+	}
+	for i := q1; i <= q3; i++ {
+		set(i, '=')
+	}
+	set(wLo, '|')
+	set(wHi, '|')
+	set(q1, '[')
+	set(q3, ']')
+	set(med, 'M')
+	for _, o := range b.Outliers {
+		set(cell(o), '*')
+	}
+	return string(buf)
+}
+
+// Series is a named sequence of (x, y) points for line charts.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// RenderChart draws one or more series as an ASCII scatter/line chart of the
+// given dimensions. Each series uses its own glyph ('#', 'o', '+', …).
+// The axes are annotated with their ranges.
+func RenderChart(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xLo = math.Min(xLo, s.X[i])
+			xHi = math.Max(xHi, s.X[i])
+			yLo = math.Min(yLo, s.Y[i])
+			yHi = math.Max(yHi, s.Y[i])
+		}
+	}
+	if math.IsInf(xLo, 1) {
+		return fmt.Errorf("export: chart %q has no points", title)
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte{'#', 'o', '+', 'x', '@', '%'}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int((s.X[i] - xLo) / (xHi - xLo) * float64(width-1))
+			r := int((s.Y[i] - yLo) / (yHi - yLo) * float64(height-1))
+			r = height - 1 - r // origin bottom-left
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = g
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = leftPad(F(yHi), 8)
+		}
+		if r == height-1 {
+			label = leftPad(F(yLo), 8)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s\n", strings.Repeat(" ", 8),
+		F(xLo), leftPad(F(xHi), width-len(F(xLo)))); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if s.Name == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "          %c = %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func leftPad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}

@@ -1,0 +1,136 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cdfpoison/internal/stats"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"x,y", "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n1,2\n\"x,y\",3\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVRowMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("mismatched row accepted")
+	}
+}
+
+func TestFFormats(t *testing.T) {
+	for _, c := range []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "nan"},
+	} {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("very-long-name", "22")
+	tb.AddRow("short") // padded
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	h, rows := tb.CSV()
+	if len(h) != 2 || len(rows) != 3 {
+		t.Fatalf("CSV export wrong: %v %v", h, rows)
+	}
+}
+
+func TestRenderBoxplot(t *testing.T) {
+	b := stats.NewBoxplot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 100})
+	s := RenderBoxplot(b, 0, 110, 60)
+	if len(s) != 60 {
+		t.Fatalf("width %d, want 60", len(s))
+	}
+	for _, ch := range []string{"[", "]", "M", "|", "*"} {
+		if !strings.Contains(s, ch) {
+			t.Errorf("boxplot missing %q: %q", ch, s)
+		}
+	}
+	// Median left of the outlier.
+	if strings.Index(s, "M") > strings.Index(s, "*") {
+		t.Errorf("median not left of outlier: %q", s)
+	}
+}
+
+func TestRenderBoxplotClamps(t *testing.T) {
+	b := stats.NewBoxplot([]float64{5, 6, 7})
+	// Degenerate range and tiny width must not panic.
+	s := RenderBoxplot(b, 10, 10, 3)
+	if len(s) != 10 {
+		t.Fatalf("clamped width %d, want 10", len(s))
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderChart(&buf, "test chart", []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, "empty", nil, 40, 10); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestRenderChartConstant(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderChart(&buf, "const", []Series{
+		{X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}},
+	}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of a trained MLP: magic, hidden width, then all
+// parameters and normalization constants as little-endian float64s. The
+// format is versioned by the magic string.
+var mlpMagic = [8]byte{'C', 'D', 'F', 'M', 'L', 'P', '0', '1'}
+
+// WriteBinary serializes the network.
+func (m *MLP) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(mlpMagic[:]); err != nil {
+		return fmt.Errorf("nn: write magic: %w", err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(m.hidden))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: write header: %w", err)
+	}
+	fields := make([]float64, 0, 3*m.hidden+5)
+	fields = append(fields, m.w1...)
+	fields = append(fields, m.b1...)
+	fields = append(fields, m.w2...)
+	fields = append(fields, m.b2, m.xShift, m.xScale, m.yShift, m.yScale)
+	for _, f := range fields {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("nn: write params: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a network written by WriteBinary.
+func ReadBinary(r io.Reader) (*MLP, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: read magic: %w", err)
+	}
+	if magic != mlpMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", magic[:])
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nn: read header: %w", err)
+	}
+	hidden := int(binary.LittleEndian.Uint32(hdr[:]))
+	if hidden <= 0 || hidden > 1<<20 {
+		return nil, fmt.Errorf("nn: implausible hidden width %d", hidden)
+	}
+	readF := func() (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	m := &MLP{
+		hidden: hidden,
+		w1:     make([]float64, hidden),
+		b1:     make([]float64, hidden),
+		w2:     make([]float64, hidden),
+	}
+	var err error
+	for i := range m.w1 {
+		if m.w1[i], err = readF(); err != nil {
+			return nil, fmt.Errorf("nn: read w1: %w", err)
+		}
+	}
+	for i := range m.b1 {
+		if m.b1[i], err = readF(); err != nil {
+			return nil, fmt.Errorf("nn: read b1: %w", err)
+		}
+	}
+	for i := range m.w2 {
+		if m.w2[i], err = readF(); err != nil {
+			return nil, fmt.Errorf("nn: read w2: %w", err)
+		}
+	}
+	for _, dst := range []*float64{&m.b2, &m.xShift, &m.xScale, &m.yShift, &m.yScale} {
+		if *dst, err = readF(); err != nil {
+			return nil, fmt.Errorf("nn: read scalars: %w", err)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMLPBinaryRoundTrip(t *testing.T) {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i) * 3
+		y[i] = float64(i)*2 + 5
+	}
+	orig, err := Train(x, y, Config{Hidden: 12, Epochs: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hidden() != orig.Hidden() || got.ParamCount() != orig.ParamCount() {
+		t.Fatal("shape mismatch")
+	}
+	for _, xi := range x {
+		if got.Predict(xi) != orig.Predict(xi) {
+			t.Fatalf("prediction diverges at %v", xi)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOT_A_NET___")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	m, err := Train([]float64{1, 2}, []float64{1, 2}, Config{Hidden: 4, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package nn implements a small feed-forward neural network (one hidden
+// ReLU layer, scalar input and output) trained with Adam — the model class
+// Kraska et al. use for the first stage of the recursive model index, where
+// it learns the coarse shape of the key CDF and routes queries to
+// second-stage models.
+//
+// The paper under reproduction never poisons the stage-1 network (queries on
+// trained keys always route correctly, Section V), so this package's job is
+// to be a *real* substrate: deterministic, dependency-free, and accurate
+// enough that routing behaves like the original architecture.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdfpoison/internal/xrand"
+)
+
+// Config controls network shape and training.
+type Config struct {
+	Hidden int     // hidden units; default 16
+	Epochs int     // full passes over the data; default 200
+	Batch  int     // minibatch size; default 64
+	LR     float64 // Adam learning rate; default 0.01
+	Seed   uint64  // weight-init seed; default 1
+}
+
+func (c *Config) fill() {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// MLP is a 1 → Hidden → 1 network with ReLU activations, plus the affine
+// input/output normalization fitted during training. The zero value is not
+// usable; construct with Train.
+type MLP struct {
+	hidden int
+	w1, b1 []float64
+	w2     []float64
+	b2     float64
+	// Normalization: xn = (x − xShift) * xScale, y = yn/yScale + yShift.
+	xShift, xScale float64
+	yShift, yScale float64
+}
+
+// ErrBadInput is returned when training data is empty or mismatched.
+var ErrBadInput = errors.New("nn: training inputs must be non-empty and of equal length")
+
+// Train fits an MLP to (x, y) pairs by minimizing MSE with Adam. Inputs and
+// outputs are affinely normalized to ~[0, 1] internally, so callers pass raw
+// keys and raw positions. Training is deterministic given Config.Seed.
+func Train(x, y []float64, cfg Config) (*MLP, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrBadInput, len(x), len(y))
+	}
+	cfg.fill()
+	n := len(x)
+
+	minmax := func(v []float64) (lo, hi float64) {
+		lo, hi = v[0], v[0]
+		for _, t := range v {
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+		return lo, hi
+	}
+	xLo, xHi := minmax(x)
+	yLo, yHi := minmax(y)
+	m := &MLP{
+		hidden: cfg.Hidden,
+		w1:     make([]float64, cfg.Hidden),
+		b1:     make([]float64, cfg.Hidden),
+		w2:     make([]float64, cfg.Hidden),
+		xShift: xLo, xScale: safeInv(xHi - xLo),
+		yShift: yLo, yScale: safeInv(yHi - yLo),
+	}
+
+	rng := xrand.New(cfg.Seed)
+	for i := 0; i < cfg.Hidden; i++ {
+		// He-style init scaled for a scalar input.
+		m.w1[i] = rng.NormFloat64() * math.Sqrt(2)
+		m.b1[i] = rng.Float64()*2 - 1 // spread ReLU hinges across the input range
+		m.w2[i] = rng.NormFloat64() * math.Sqrt(2/float64(cfg.Hidden))
+	}
+
+	xn := make([]float64, n)
+	yn := make([]float64, n)
+	for i := range x {
+		xn[i] = (x[i] - m.xShift) * m.xScale
+		yn[i] = (y[i] - m.yShift) * m.yScale
+	}
+
+	// Adam state.
+	type adam struct{ m, v float64 }
+	aw1 := make([]adam, cfg.Hidden)
+	ab1 := make([]adam, cfg.Hidden)
+	aw2 := make([]adam, cfg.Hidden)
+	var ab2 adam
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	update := func(a *adam, g, lr float64) float64 {
+		a.m = beta1*a.m + (1-beta1)*g
+		a.v = beta2*a.v + (1-beta2)*g*g
+		mh := a.m / (1 - math.Pow(beta1, float64(step)))
+		vh := a.v / (1 - math.Pow(beta2, float64(step)))
+		return lr * mh / (math.Sqrt(vh) + eps)
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	gw1 := make([]float64, cfg.Hidden)
+	gb1 := make([]float64, cfg.Hidden)
+	gw2 := make([]float64, cfg.Hidden)
+	h := make([]float64, cfg.Hidden)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < n; start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > n {
+				end = n
+			}
+			bs := float64(end - start)
+			for i := range gw1 {
+				gw1[i], gb1[i], gw2[i] = 0, 0, 0
+			}
+			gb2 := 0.0
+			for _, j := range idx[start:end] {
+				xi, yi := xn[j], yn[j]
+				pred := m.b2
+				for k := 0; k < cfg.Hidden; k++ {
+					a := m.w1[k]*xi + m.b1[k]
+					if a < 0 {
+						a = 0
+					}
+					h[k] = a
+					pred += m.w2[k] * a
+				}
+				d := 2 * (pred - yi) / bs
+				gb2 += d
+				for k := 0; k < cfg.Hidden; k++ {
+					gw2[k] += d * h[k]
+					if h[k] > 0 {
+						gw1[k] += d * m.w2[k] * xi
+						gb1[k] += d * m.w2[k]
+					}
+				}
+			}
+			step++
+			for k := 0; k < cfg.Hidden; k++ {
+				m.w1[k] -= update(&aw1[k], gw1[k], cfg.LR)
+				m.b1[k] -= update(&ab1[k], gb1[k], cfg.LR)
+				m.w2[k] -= update(&aw2[k], gw2[k], cfg.LR)
+			}
+			m.b2 -= update(&ab2, gb2, cfg.LR)
+		}
+	}
+	return m, nil
+}
+
+func safeInv(d float64) float64 {
+	if d == 0 {
+		return 1
+	}
+	return 1 / d
+}
+
+// Predict returns the network output for a raw (unnormalized) input.
+func (m *MLP) Predict(x float64) float64 {
+	xi := (x - m.xShift) * m.xScale
+	out := m.b2
+	for k := 0; k < m.hidden; k++ {
+		a := m.w1[k]*xi + m.b1[k]
+		if a > 0 {
+			out += m.w2[k] * a
+		}
+	}
+	return out/m.yScale + m.yShift
+}
+
+// MSE returns the mean squared error of the network on (x, y).
+func (m *MLP) MSE(x, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range x {
+		d := m.Predict(x[i]) - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Hidden returns the hidden-layer width (for memory accounting).
+func (m *MLP) Hidden() int { return m.hidden }
+
+// ParamCount returns the number of trainable parameters.
+func (m *MLP) ParamCount() int { return 3*m.hidden + 1 }

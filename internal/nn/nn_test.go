@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cdfpoison/internal/xrand"
+)
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput, got %v", err)
+	}
+	if _, err := Train([]float64{1}, []float64{1, 2}, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput, got %v", err)
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = float64(i) * 10
+		y[i] = 3*x[i] + 7
+	}
+	m, err := Train(x, y, Config{Hidden: 8, Epochs: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative RMSE under 2% of the output range.
+	rng := y[len(y)-1] - y[0]
+	if rmse := math.Sqrt(m.MSE(x, y)); rmse > 0.02*rng {
+		t.Fatalf("linear fit rmse %v too large (range %v)", rmse, rng)
+	}
+}
+
+func TestLearnsSmoothCDF(t *testing.T) {
+	// A log-normal-like CDF: the exact first-stage task in the RMI.
+	rng := xrand.New(2)
+	n := 2000
+	keysf := make([]float64, n)
+	cur := 0.0
+	for i := range keysf {
+		cur += math.Exp(rng.NormFloat64() * 1.5)
+		keysf[i] = cur
+	}
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = float64(i)
+	}
+	m, err := Train(keysf, pos, Config{Hidden: 16, Epochs: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := math.Sqrt(m.MSE(keysf, pos))
+	if rmse > 0.08*float64(n) {
+		t.Fatalf("CDF fit rmse %v too large for n=%d", rmse, n)
+	}
+}
+
+func TestTrainingImprovesOverInit(t *testing.T) {
+	rng := xrand.New(4)
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+		y[i] = math.Sin(x[i]/20)*50 + x[i]
+	}
+	short, err := Train(x, y, Config{Hidden: 12, Epochs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Train(x, y, Config{Hidden: 12, Epochs: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MSE(x, y) >= short.MSE(x, y) {
+		t.Fatalf("200 epochs (%v) not better than 1 epoch (%v)", long.MSE(x, y), short.MSE(x, y))
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	a, _ := Train(x, y, Config{Seed: 9, Epochs: 50})
+	b, _ := Train(x, y, Config{Seed: 9, Epochs: 50})
+	for _, xi := range x {
+		if a.Predict(xi) != b.Predict(xi) {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	// Degenerate y range: the normalizer must not divide by zero.
+	x := []float64{1, 2, 3}
+	y := []float64{5, 5, 5}
+	m, err := Train(x, y, Config{Epochs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, xi := range x {
+		if math.Abs(m.Predict(xi)-5) > 1 {
+			t.Fatalf("constant fit predicts %v", m.Predict(xi))
+		}
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	m, err := Train([]float64{3}, []float64{7}, Config{Epochs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.Predict(3)) {
+		t.Fatal("NaN prediction")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	m, err := Train([]float64{1, 2}, []float64{1, 2}, Config{Hidden: 10, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParamCount() != 31 || m.Hidden() != 10 {
+		t.Fatalf("params %d hidden %d", m.ParamCount(), m.Hidden())
+	}
+}
+
+func TestMSEEmpty(t *testing.T) {
+	m, _ := Train([]float64{1, 2}, []float64{1, 2}, Config{Epochs: 1})
+	if m.MSE(nil, nil) != 0 {
+		t.Fatal("empty MSE not zero")
+	}
+}

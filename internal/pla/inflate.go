@@ -1,0 +1,120 @@
+package pla
+
+import (
+	"fmt"
+
+	"cdfpoison/internal/keys"
+)
+
+// This file implements a poisoning attack whose objective is the
+// piecewise-linear index itself. The paper's greedy attack maximizes the
+// MSE of one global regression, which concentrates every poisoning key in
+// a single dense spot — and a single cluster breaks at most a couple of
+// shrinking cones, leaving a PGM/FITing-tree-style index essentially
+// unharmed (measured in EXPERIMENTS.md, Extension F). An adversary who
+// targets this index family must spend the budget differently: a burst of
+// more than 2ε consecutive keys inside a segment shifts subsequent ranks
+// beyond the ε-corridor and forcibly splits the segment.
+//
+// InflationAttack spreads such bursts round-robin across the clean
+// segments, maximizing segment-count (memory) inflation per poisoned key.
+
+// InflationResult describes the outcome of the segment-inflation attack.
+type InflationResult struct {
+	Poison   []int64
+	Poisoned keys.Set
+	// CleanSegments / PoisonedSegments are measured at the given epsilon.
+	CleanSegments    int
+	PoisonedSegments int
+}
+
+// InflationRatio returns PoisonedSegments/CleanSegments.
+func (r InflationResult) InflationRatio() float64 {
+	if r.CleanSegments == 0 {
+		return 1
+	}
+	return float64(r.PoisonedSegments) / float64(r.CleanSegments)
+}
+
+// InflationAttack injects up to budget keys so as to maximize the number of
+// ε-bounded segments a rebuild will need. Bursts of 2ε+2 consecutive keys
+// are placed into the widest gap of each clean segment, round-robin, so
+// every burst forces at least one additional segment.
+func InflationAttack(ks keys.Set, budget, epsilon int) (InflationResult, error) {
+	if budget < 0 {
+		return InflationResult{}, fmt.Errorf("pla: negative budget %d", budget)
+	}
+	clean, err := Build(ks, epsilon)
+	if err != nil {
+		return InflationResult{}, err
+	}
+	res := InflationResult{CleanSegments: clean.Segments(), Poisoned: ks}
+
+	burst := 2*epsilon + 2
+	remaining := budget
+	// Each round: segment the CURRENT poisoned set, drop one burst into the
+	// widest interior gap of every segment, repeat. Re-segmenting between
+	// rounds lets the attack keep splitting the pieces it created, so large
+	// budgets are spent even when the clean index had few segments.
+	for round := 0; remaining > 0 && round <= budget; round++ {
+		cur, err := Build(res.Poisoned, epsilon)
+		if err != nil {
+			return InflationResult{}, err
+		}
+		type slot struct {
+			lo, hi int64 // gap bounds (inclusive)
+		}
+		var slots []slot
+		for si, s := range cur.segs {
+			endPos := res.Poisoned.Len() - 1
+			if si+1 < len(cur.segs) {
+				endPos = cur.segs[si+1].startPos - 1
+			}
+			bestW := int64(0)
+			var best slot
+			for p := s.startPos; p < endPos; p++ {
+				if w := res.Poisoned.At(p+1) - res.Poisoned.At(p) - 1; w > bestW {
+					bestW = w
+					best = slot{lo: res.Poisoned.At(p) + 1, hi: res.Poisoned.At(p+1) - 1}
+				}
+			}
+			if bestW > 0 {
+				slots = append(slots, best)
+			}
+		}
+		progress := false
+		for i := range slots {
+			if remaining == 0 {
+				break
+			}
+			s := &slots[i]
+			take := burst
+			if take > remaining {
+				take = remaining
+			}
+			if int64(take) > s.hi-s.lo+1 {
+				take = int(s.hi - s.lo + 1)
+			}
+			for j := 0; j < take; j++ {
+				next, ok := res.Poisoned.Insert(s.lo)
+				if !ok {
+					return InflationResult{}, fmt.Errorf("pla: inflation bookkeeping: key %d occupied", s.lo)
+				}
+				res.Poisoned = next
+				res.Poison = append(res.Poison, s.lo)
+				s.lo++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			break // domain saturated everywhere
+		}
+	}
+	poisIdx, err := Build(res.Poisoned, epsilon)
+	if err != nil {
+		return InflationResult{}, err
+	}
+	res.PoisonedSegments = poisIdx.Segments()
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package pla
+
+import (
+	"testing"
+
+	"cdfpoison/internal/core"
+)
+
+func TestInflationAttackBasics(t *testing.T) {
+	ks := uniformSet(t, 20, 5000, 100000)
+	const eps = 16
+	res, err := InflationAttack(ks, 500, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InflationRatio() <= 1 {
+		t.Fatalf("inflation %v <= 1", res.InflationRatio())
+	}
+	if len(res.Poison) > 500 {
+		t.Fatalf("budget exceeded: %d", len(res.Poison))
+	}
+	// Poison keys are unique, absent from the original set, and the
+	// poisoned set is consistent.
+	if res.Poisoned.Len() != ks.Len()+len(res.Poison) {
+		t.Fatalf("poisoned size %d", res.Poisoned.Len())
+	}
+	seen := map[int64]bool{}
+	for _, p := range res.Poison {
+		if ks.Contains(p) || seen[p] {
+			t.Fatalf("invalid poison key %d", p)
+		}
+		seen[p] = true
+	}
+	// The rebuilt index still honours the error bound and finds all
+	// legitimate keys.
+	idx, err := Build(res.Poisoned, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.VerifyErrorBound() > eps {
+		t.Fatal("error bound violated")
+	}
+	for i := 0; i < ks.Len(); i += 97 {
+		if r := idx.Lookup(ks.At(i)); !r.Found {
+			t.Fatalf("legit key %d lost", ks.At(i))
+		}
+	}
+}
+
+func TestInflationAttackBeatsLossAttack(t *testing.T) {
+	// The non-transferability finding: at the same budget the burst attack
+	// inflates segments at least as much as the MSE-optimal attack.
+	ks := uniformSet(t, 21, 8000, 160000)
+	const eps, budget = 16, 800
+	burst, err := InflationAttack(ks, budget, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := core.GreedyMultiPoint(ks, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossIdx, err := Build(loss.Poisoned, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Build(ks, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossInflation := float64(lossIdx.Segments()) / float64(clean.Segments())
+	if burst.InflationRatio() < lossInflation {
+		t.Fatalf("burst %v below loss-attack %v", burst.InflationRatio(), lossInflation)
+	}
+	if burst.InflationRatio() < 1.3 {
+		t.Fatalf("burst attack too weak: %v", burst.InflationRatio())
+	}
+}
+
+func TestInflationAttackValidation(t *testing.T) {
+	ks := uniformSet(t, 22, 100, 2000)
+	if _, err := InflationAttack(ks, -1, 8); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := InflationAttack(ks, 10, 0); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	// Zero budget: no-op.
+	res, err := InflationAttack(ks, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Poison) != 0 || res.InflationRatio() != 1 {
+		t.Fatalf("zero budget result: %+v", res)
+	}
+}
+
+func TestInflationAttackSaturatedDomain(t *testing.T) {
+	// No gaps → nothing to inject; must not loop forever.
+	raw := make([]int64, 200)
+	for i := range raw {
+		raw[i] = int64(i)
+	}
+	ks := mustKeys(t, raw)
+	res, err := InflationAttack(ks, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Poison) != 0 {
+		t.Fatalf("injected %d into saturated domain", len(res.Poison))
+	}
+}

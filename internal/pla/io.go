@@ -1,0 +1,110 @@
+package pla
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cdfpoison/internal/keys"
+)
+
+// Binary serialization of a built piecewise-linear index: magic, epsilon,
+// the key set (delta-varint), and every segment.
+var plaMagic = [8]byte{'C', 'D', 'F', 'P', 'L', 'A', '0', '1'}
+
+// WriteBinary serializes the index.
+func (idx *Index) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(plaMagic[:]); err != nil {
+		return fmt.Errorf("pla: write magic: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(idx.epsilon))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(idx.segs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pla: write header: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := idx.ks.WriteBinary(w); err != nil {
+		return fmt.Errorf("pla: write keys: %w", err)
+	}
+	bw = bufio.NewWriter(w)
+	var buf [8]byte
+	put := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	for _, s := range idx.segs {
+		if err := put(uint64(s.startKey)); err != nil {
+			return fmt.Errorf("pla: write segment: %w", err)
+		}
+		if err := put(uint64(s.endKey)); err != nil {
+			return fmt.Errorf("pla: write segment: %w", err)
+		}
+		if err := put(uint64(s.startPos)); err != nil {
+			return fmt.Errorf("pla: write segment: %w", err)
+		}
+		if err := put(math.Float64bits(s.slope)); err != nil {
+			return fmt.Errorf("pla: write segment: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes an index written by WriteBinary.
+func ReadBinary(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("pla: read magic: %w", err)
+	}
+	if magic != plaMagic {
+		return nil, fmt.Errorf("pla: bad magic %q", magic[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pla: read header: %w", err)
+	}
+	epsilon := int(binary.LittleEndian.Uint64(hdr[:8]))
+	numSegs := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if epsilon < 1 || numSegs < 0 || numSegs > 1<<30 {
+		return nil, fmt.Errorf("pla: implausible header (epsilon=%d, segments=%d)", epsilon, numSegs)
+	}
+	ks, err := keys.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("pla: read keys: %w", err)
+	}
+	idx := &Index{ks: ks, epsilon: epsilon, segs: make([]segment, numSegs)}
+	var buf [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	for i := range idx.segs {
+		s := &idx.segs[i]
+		var v uint64
+		if v, err = get(); err == nil {
+			s.startKey = int64(v)
+			if v, err = get(); err == nil {
+				s.endKey = int64(v)
+				if v, err = get(); err == nil {
+					s.startPos = int(v)
+					if v, err = get(); err == nil {
+						s.slope = math.Float64frombits(v)
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pla: read segment %d: %w", i, err)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,59 @@
+package pla
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIndexBinaryRoundTrip(t *testing.T) {
+	ks := uniformSet(t, 60, 1500, 40000)
+	orig, err := Build(ks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Segments() != orig.Segments() || got.Epsilon() != orig.Epsilon() || got.Len() != orig.Len() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	for i := 0; i < ks.Len(); i++ {
+		k := ks.At(i)
+		if orig.Lookup(k) != got.Lookup(k) {
+			t.Fatalf("lookup(%d) diverges", k)
+		}
+	}
+	for k := ks.Min(); k < ks.Min()+300; k++ {
+		if orig.Lookup(k) != got.Lookup(k) {
+			t.Fatalf("absent lookup(%d) diverges", k)
+		}
+	}
+	if got.VerifyErrorBound() > float64(got.Epsilon()) {
+		t.Fatal("error bound violated after deserialization")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTPLAINDEX_")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	ks := uniformSet(t, 61, 200, 4000)
+	idx, err := Build(ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-4])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

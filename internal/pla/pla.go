@@ -1,0 +1,305 @@
+// Package pla implements an error-bounded piecewise-linear learned index in
+// the style of the FITing-tree and the PGM-index — the alternative learned
+// index family the paper's related work surveys ([9], [38]) and its
+// Discussion singles out as worth attacking ("recent works propose learned
+// index structures based on different regression models… It is worthwhile
+// studying the vulnerabilities of these models", Section VI).
+//
+// The index covers the sorted keys with the fewest greedy "shrinking cone"
+// segments such that every key's predicted position is within epsilon of
+// its true position; lookups binary-search the segment table, predict, and
+// finish with a bounded last-mile search.
+//
+// Against this family, CDF poisoning shows up differently than against the
+// fixed-fanout RMI: the error bound is enforced by construction, so the
+// attacker cannot inflate lookup error — instead every poisoning key that
+// breaks a cone forces an extra segment, inflating the index's MEMORY
+// footprint. The price of tailoring, paid in space instead of time.
+package pla
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdfpoison/internal/keys"
+)
+
+// ErrEmpty is returned when building over an empty key set.
+var ErrEmpty = errors.New("pla: cannot build over an empty key set")
+
+// segment is one linear piece: positions predicted as
+// pos ≈ slope·(key − startKey) + startPos for keys in [startKey, endKey].
+type segment struct {
+	startKey int64
+	endKey   int64
+	startPos int // 0-based position of startKey
+	slope    float64
+}
+
+// Index is an immutable error-bounded piecewise-linear index.
+type Index struct {
+	ks       keys.Set
+	segs     []segment
+	epsilon  int
+	maxProbe int
+}
+
+// Build constructs the index with the given error bound epsilon >= 1 using
+// the one-pass greedy shrinking-cone algorithm: the fewest segments such
+// that |predicted − actual| <= epsilon for every stored key (optimal among
+// one-pass left-to-right segmentations).
+func Build(ks keys.Set, epsilon int) (*Index, error) {
+	n := ks.Len()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if epsilon < 1 {
+		return nil, fmt.Errorf("pla: epsilon must be >= 1, got %d", epsilon)
+	}
+	idx := &Index{ks: ks, epsilon: epsilon}
+
+	start := 0
+	for start < n {
+		// Open a segment at (key_start, start).
+		k0 := ks.At(start)
+		loSlope := math.Inf(-1)
+		hiSlope := math.Inf(1)
+		end := start
+		for next := start + 1; next < n; next++ {
+			dx := float64(ks.At(next) - k0)
+			dy := float64(next - start)
+			lo := (dy - float64(epsilon)) / dx
+			hi := (dy + float64(epsilon)) / dx
+			newLo := math.Max(loSlope, lo)
+			newHi := math.Min(hiSlope, hi)
+			if newLo > newHi {
+				break // cone collapsed: the segment ends at `end`
+			}
+			loSlope, hiSlope = newLo, newHi
+			end = next
+		}
+		var slope float64
+		switch {
+		case end == start:
+			slope = 0 // singleton segment
+		case math.IsInf(loSlope, -1) || math.IsInf(hiSlope, 1):
+			slope = 0 // unreachable: two points always bound the cone
+		default:
+			slope = (loSlope + hiSlope) / 2
+		}
+		idx.segs = append(idx.segs, segment{
+			startKey: k0,
+			endKey:   ks.At(end),
+			startPos: start,
+			slope:    slope,
+		})
+		start = end + 1
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed keys.
+func (idx *Index) Len() int { return idx.ks.Len() }
+
+// Segments returns the number of linear pieces — the quantity a poisoning
+// adversary inflates.
+func (idx *Index) Segments() int { return len(idx.segs) }
+
+// Epsilon returns the guaranteed error bound.
+func (idx *Index) Epsilon() int { return idx.epsilon }
+
+// MemoryBytes estimates the model storage: per segment one key (8B), one
+// position (8B), and one slope (8B), plus the segment-table key array used
+// for routing (8B) — matching how FITing-tree accounts its inner nodes.
+func (idx *Index) MemoryBytes() int { return len(idx.segs) * 32 }
+
+// LookupResult mirrors rmi.LookupResult for comparable accounting.
+type LookupResult struct {
+	Pos    int
+	Found  bool
+	Probes int // key comparisons: segment routing + last-mile search
+}
+
+// Lookup finds a stored key; absent keys report Found=false. Stored keys
+// are always found within epsilon of their prediction, by construction.
+func (idx *Index) Lookup(k int64) LookupResult {
+	var res LookupResult
+	res.Pos = -1
+	// Route: last segment with startKey <= k.
+	lo, hi := 0, len(idx.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		res.Probes++
+		if idx.segs[mid].startKey <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	si := lo - 1
+	if si < 0 {
+		return res // below the smallest key
+	}
+	s := idx.segs[si]
+	pred := float64(s.startPos) + s.slope*float64(k-s.startKey)
+	from := int(math.Floor(pred)) - idx.epsilon
+	to := int(math.Ceil(pred)) + idx.epsilon
+	if from < 0 {
+		from = 0
+	}
+	if to > idx.ks.Len()-1 {
+		to = idx.ks.Len() - 1
+	}
+	for from <= to {
+		mid := (from + to) / 2
+		res.Probes++
+		switch c := idx.ks.At(mid); {
+		case c == k:
+			res.Pos, res.Found = mid, true
+			return res
+		case c < k:
+			from = mid + 1
+		default:
+			to = mid - 1
+		}
+	}
+	return res
+}
+
+// AscendRange calls fn(pos, key) for every stored key in [lo, hi] in
+// increasing order until fn returns false. The range start is located with
+// one model-guided lower-bound search.
+func (idx *Index) AscendRange(lo, hi int64, fn func(pos int, key int64) bool) {
+	pos := idx.lowerBound(lo)
+	for ; pos < idx.ks.Len(); pos++ {
+		k := idx.ks.At(pos)
+		if k > hi {
+			return
+		}
+		if !fn(pos, k) {
+			return
+		}
+	}
+}
+
+// RangeCount returns the number of stored keys in [lo, hi].
+func (idx *Index) RangeCount(lo, hi int64) int {
+	if hi < lo {
+		return 0
+	}
+	return idx.lowerBound(hi+1) - idx.lowerBound(lo)
+}
+
+// lowerBound returns the smallest position whose key is >= k.
+func (idx *Index) lowerBound(k int64) int {
+	n := idx.ks.Len()
+	if n == 0 || k > idx.ks.Max() {
+		return n
+	}
+	if k <= idx.ks.Min() {
+		return 0
+	}
+	// Route to the segment covering k and search its epsilon window,
+	// widening if the absent-key prediction lands just outside.
+	lo, hi := 0, len(idx.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx.segs[mid].startKey <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	si := lo - 1
+	if si < 0 {
+		si = 0
+	}
+	s := idx.segs[si]
+	pred := float64(s.startPos) + s.slope*float64(k-s.startKey)
+	from := int(math.Floor(pred)) - idx.epsilon
+	to := int(math.Ceil(pred)) + idx.epsilon
+	if from < 0 {
+		from = 0
+	}
+	if to > n-1 {
+		to = n - 1
+	}
+	for from > 0 && idx.ks.At(from) >= k {
+		from -= to - from + 1
+		if from < 0 {
+			from = 0
+		}
+	}
+	for to < n-1 && idx.ks.At(to) < k {
+		to += to - from + 1
+		if to > n-1 {
+			to = n - 1
+		}
+	}
+	for from < to {
+		mid := (from + to) / 2
+		if idx.ks.At(mid) < k {
+			from = mid + 1
+		} else {
+			to = mid
+		}
+	}
+	if idx.ks.At(from) < k {
+		from++
+	}
+	return from
+}
+
+// AvgProbes runs a lookup for every key and returns the mean probe count
+// and the not-found count.
+func (idx *Index) AvgProbes(queryKeys []int64) (mean float64, notFound int) {
+	if len(queryKeys) == 0 {
+		return 0, 0
+	}
+	sum := 0
+	for _, k := range queryKeys {
+		r := idx.Lookup(k)
+		sum += r.Probes
+		if !r.Found {
+			notFound++
+		}
+	}
+	return float64(sum) / float64(len(queryKeys)), notFound
+}
+
+// VerifyErrorBound recomputes every key's prediction error and returns the
+// worst observed |predicted − actual| — must be <= epsilon. Used by tests
+// and by callers that want a self-check after deserialization.
+func (idx *Index) VerifyErrorBound() float64 {
+	worst := 0.0
+	for si, s := range idx.segs {
+		endPos := idx.ks.Len() - 1
+		if si+1 < len(idx.segs) {
+			endPos = idx.segs[si+1].startPos - 1
+		}
+		for p := s.startPos; p <= endPos; p++ {
+			pred := float64(s.startPos) + s.slope*float64(idx.ks.At(p)-s.startKey)
+			if d := math.Abs(pred - float64(p)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// SegmentSizes returns the number of keys covered by each segment, sorted
+// ascending — a diagnostic for how poisoning fragments the segmentation.
+func (idx *Index) SegmentSizes() []int {
+	sizes := make([]int, 0, len(idx.segs))
+	for si, s := range idx.segs {
+		endPos := idx.ks.Len() - 1
+		if si+1 < len(idx.segs) {
+			endPos = idx.segs[si+1].startPos - 1
+		}
+		sizes = append(sizes, endPos-s.startPos+1)
+	}
+	sort.Ints(sizes)
+	return sizes
+}

@@ -1,0 +1,95 @@
+package pla
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/xrand"
+)
+
+func TestRangeCountAgainstReference(t *testing.T) {
+	ks := uniformSet(t, 40, 2000, 40000)
+	idx, err := Build(ks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(lo, hi int64) int {
+		c := 0
+		for _, k := range ks.Keys() {
+			if k >= lo && k <= hi {
+				c++
+			}
+		}
+		return c
+	}
+	rng := xrand.New(41)
+	for trial := 0; trial < 300; trial++ {
+		a := rng.Int63n(42000) - 1000
+		b := rng.Int63n(42000) - 1000
+		if a > b {
+			a, b = b, a
+		}
+		if got, want := idx.RangeCount(a, b), ref(a, b); got != want {
+			t.Fatalf("RangeCount(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+	if idx.RangeCount(9, 5) != 0 {
+		t.Fatal("inverted range not empty")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	ks := uniformSet(t, 42, 1000, 20000)
+	idx, err := Build(ks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int64
+	idx.AscendRange(4000, 16000, func(pos int, k int64) bool {
+		if k < 4000 || k > 16000 || ks.At(pos) != k {
+			t.Fatalf("bad visit pos=%d k=%d", pos, k)
+		}
+		seen = append(seen, k)
+		return true
+	})
+	if len(seen) != idx.RangeCount(4000, 16000) {
+		t.Fatalf("scan/count mismatch: %d vs %d", len(seen), idx.RangeCount(4000, 16000))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatal("out of order")
+		}
+	}
+	n := 0
+	idx.AscendRange(0, 1<<40, func(int, int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestLowerBoundQuick(t *testing.T) {
+	f := func(seed uint32, epsRaw uint8) bool {
+		eps := int(epsRaw)%32 + 1
+		rng := xrand.New(uint64(seed))
+		n := 50 + rng.Intn(400)
+		ks, err := dataset.Uniform(rng, n, int64(n)*15)
+		if err != nil {
+			return false
+		}
+		idx, err := Build(ks, eps)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			k := rng.Int63n(int64(n)*15 + 100)
+			if idx.lowerBound(k) != ks.CountLess(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package regression implements linear regression on cumulative distribution
+// functions (CDFs), the building block of learned index structures that the
+// paper attacks.
+//
+// Definition 1 of the paper: given keys k_1 < … < k_n with ranks r_i = i,
+// find (w, b) minimizing the mean squared error Σ(w·k_i + b − r_i)²/n.
+// Theorem 1 gives the closed form
+//
+//	w* = Cov_KR / Var_K,   b* = M_R − w*·M_K,
+//	L(K, R, w*, b*) = Var_R − Cov²_KR / Var_K.
+//
+// (The paper's Theorem 1 statement carries a typo — its own incremental
+// equations in Section IV-C use the form above, which is the standard
+// least-squares optimum.)
+//
+// Numerical design: second-stage RMI models see keys in the billions spread
+// across windows a few thousand wide, where raw moments like M_K² − (M_K)²
+// cancel catastrophically. Every computation here therefore centers keys at
+// the set minimum first. The fitted line, the loss, and the optimal poisoning
+// location are all invariant under that translation (property-tested).
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdfpoison/internal/keys"
+)
+
+// ErrTooFew is returned when a fit is requested on fewer than one key.
+var ErrTooFew = errors.New("regression: need at least one key")
+
+// Line is a fitted line rank ≈ W·key + B over *uncentered* keys.
+type Line struct {
+	W, B float64
+}
+
+// Predict returns the predicted (fractional) rank of key k.
+func (l Line) Predict(k int64) float64 { return l.W*float64(k) + l.B }
+
+// Model is the result of fitting a CDF: the line, the optimal in-sample MSE
+// (mean, not sum), and the number of points it was fitted on.
+type Model struct {
+	Line
+	Loss float64
+	N    int
+}
+
+// String renders the model compactly for logs and examples.
+func (m Model) String() string {
+	return fmt.Sprintf("rank ≈ %.6g·key %+.6g  (n=%d, mse=%.6g)", m.W, m.B, m.N, m.Loss)
+}
+
+// rankMean and rankSquaredMean are the exact moments of the rank multiset
+// {1, …, n}: after any insertion the ranks are again exactly {1, …, n+1},
+// which is the structural fact (paper, Section IV-C) that makes O(1)
+// candidate evaluation possible.
+func rankMean(n int) float64 { return float64(n+1) / 2 }
+
+func rankSquaredMean(n int) float64 {
+	nf := float64(n)
+	return (nf + 1) * (2*nf + 1) / 6
+}
+
+// rankVar = Var of {1..n} = (n²−1)/12.
+func rankVar(n int) float64 {
+	nf := float64(n)
+	return (nf*nf - 1) / 12
+}
+
+// FitCDF fits the linear regression of Definition 1 on the key set: x-values
+// are the keys, y-values are the 1-based ranks. n == 1 yields the degenerate
+// exact fit (w=0, b=1, loss 0). n == 0 returns ErrTooFew.
+func FitCDF(ks keys.Set) (Model, error) {
+	n := ks.Len()
+	if n == 0 {
+		return Model{}, ErrTooFew
+	}
+	if n == 1 {
+		return Model{Line: Line{W: 0, B: 1}, Loss: 0, N: 1}, nil
+	}
+	origin := ks.Min()
+	var sumX, sumXX, sumXR float64
+	for i := 0; i < n; i++ {
+		x := float64(ks.At(i) - origin)
+		r := float64(i + 1)
+		sumX += x
+		sumXX += x * x
+		sumXR += x * r
+	}
+	nf := float64(n)
+	mx := sumX / nf
+	mxx := sumXX / nf
+	mxr := sumXR / nf
+	mr := rankMean(n)
+	varX := mxx - mx*mx
+	cov := mxr - mx*mr
+	varR := rankVar(n)
+	if varX <= 0 {
+		// Distinct keys guarantee varX > 0 for n >= 2; defend anyway.
+		return Model{Line: Line{W: 0, B: mr}, Loss: varR, N: n}, nil
+	}
+	w := cov / varX
+	bCentered := mr - w*mx
+	loss := varR - cov*cov/varX
+	if loss < 0 { // floating-point guard: MSE is non-negative by construction
+		loss = 0
+	}
+	return Model{
+		Line: Line{W: w, B: bCentered - w*float64(origin)},
+		Loss: loss,
+		N:    n,
+	}, nil
+}
+
+// EvaluateCDF returns the MSE of an arbitrary line on the key set's CDF
+// (ranks 1..n). It is used by the defense evaluation, where a model fitted
+// on one set is scored against another. Returns ErrTooFew on an empty set.
+func EvaluateCDF(l Line, ks keys.Set) (float64, error) {
+	n := ks.Len()
+	if n == 0 {
+		return 0, ErrTooFew
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := l.Predict(ks.At(i)) - float64(i+1)
+		sum += d * d
+	}
+	return sum / float64(n), nil
+}
+
+// FitXY is a general simple least-squares fit y ≈ w·x + b used by substrate
+// components (e.g. the RMI stage-1 linear router). It centers x at its mean
+// for stability. len(x) must equal len(y) and be >= 1.
+func FitXY(x, y []float64) (Line, error) {
+	if len(x) != len(y) {
+		return Line{}, fmt.Errorf("regression: FitXY length mismatch %d != %d", len(x), len(y))
+	}
+	n := len(x)
+	if n == 0 {
+		return Line{}, ErrTooFew
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return Line{W: 0, B: my}, nil
+	}
+	w := sxy / sxx
+	return Line{W: w, B: my - w*mx}, nil
+}
+
+// Prefix precomputes, in O(n), everything needed to evaluate the poisoned
+// loss for ANY candidate poisoning key in O(1): centered prefix moments and
+// the suffix key sums that capture the compound rank shift.
+//
+// This is the paper's observation 2 ("the value of L(kp) can be re-used")
+// realized with exact per-candidate formulas instead of running discrete
+// derivatives, which is equally fast and immune to drift across gap
+// boundaries.
+type Prefix struct {
+	origin int64
+	n      int
+	sumX   float64
+	sumXX  float64
+	sumXR  float64
+	// sufX[i] = Σ_{j >= i} x_j (0-based positions), sufX[n] = 0. When a
+	// poisoning key lands at position i (i keys strictly smaller), exactly
+	// the keys at positions i..n−1 gain one unit of rank, contributing
+	// sufX[i] to Σ x·r.
+	sufX []float64
+	ks   keys.Set
+}
+
+// NewPrefix builds the O(1)-evaluation state for the key set.
+// The set must contain at least two keys to admit a meaningful regression.
+func NewPrefix(ks keys.Set) (*Prefix, error) {
+	n := ks.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("regression: NewPrefix needs n >= 2, got %d", n)
+	}
+	p := &Prefix{origin: ks.Min(), n: n, ks: ks, sufX: make([]float64, n+1)}
+	for i := 0; i < n; i++ {
+		x := float64(ks.At(i) - p.origin)
+		p.sumX += x
+		p.sumXX += x * x
+		p.sumXR += x * float64(i+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		p.sufX[i] = p.sufX[i+1] + float64(ks.At(i)-p.origin)
+	}
+	return p, nil
+}
+
+// N returns the number of legitimate keys backing the prefix.
+func (p *Prefix) N() int { return p.n }
+
+// Set returns the key set backing the prefix.
+func (p *Prefix) Set() keys.Set { return p.ks }
+
+// CleanLoss returns the MSE of the optimal regression on the unpoisoned set.
+func (p *Prefix) CleanLoss() float64 {
+	nf := float64(p.n)
+	mx := p.sumX / nf
+	mxx := p.sumXX / nf
+	mxr := p.sumXR / nf
+	mr := rankMean(p.n)
+	varX := mxx - mx*mx
+	cov := mxr - mx*mr
+	loss := rankVar(p.n) - cov*cov/varX
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}
+
+// PoisonedLoss returns the optimal-regression MSE of K ∪ {kp}, where kp is a
+// key NOT in the set and pos is the number of keys strictly smaller than kp
+// (i.e. kp would take 1-based rank pos+1). It runs in O(1).
+func (p *Prefix) PoisonedLoss(kp int64, pos int) float64 {
+	xp := float64(kp - p.origin)
+	t := float64(pos + 1)
+	n1 := float64(p.n + 1)
+
+	sumX := p.sumX + xp
+	sumXX := p.sumXX + xp*xp
+	sumXR := p.sumXR + p.sufX[pos] + xp*t
+
+	mx := sumX / n1
+	mxx := sumXX / n1
+	mxr := sumXR / n1
+	mr := rankMean(p.n + 1)
+
+	varX := mxx - mx*mx
+	cov := mxr - mx*mr
+	varR := rankVar(p.n + 1)
+	if varX <= 0 {
+		return varR
+	}
+	loss := varR - cov*cov/varX
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}
+
+// PoisonedLossAuto is PoisonedLoss with the insertion position looked up via
+// binary search (O(log n)); ok is false if kp already occupies a slot.
+func (p *Prefix) PoisonedLossAuto(kp int64) (loss float64, ok bool) {
+	rank, free := p.ks.InsertedRank(kp)
+	if !free {
+		return 0, false
+	}
+	return p.PoisonedLoss(kp, rank-1), true
+}
+
+// PoisonedModel returns the full refitted model for K ∪ {kp}, used when the
+// caller needs the line itself (figures, defense analysis), not just the
+// loss. O(1) like PoisonedLoss.
+func (p *Prefix) PoisonedModel(kp int64, pos int) Model {
+	xp := float64(kp - p.origin)
+	t := float64(pos + 1)
+	n1 := float64(p.n + 1)
+
+	sumX := p.sumX + xp
+	sumXX := p.sumXX + xp*xp
+	sumXR := p.sumXR + p.sufX[pos] + xp*t
+
+	mx := sumX / n1
+	mxx := sumXX / n1
+	mxr := sumXR / n1
+	mr := rankMean(p.n + 1)
+
+	varX := mxx - mx*mx
+	cov := mxr - mx*mr
+	varR := rankVar(p.n + 1)
+	m := Model{N: p.n + 1}
+	if varX <= 0 {
+		m.Line = Line{W: 0, B: mr}
+		m.Loss = varR
+		return m
+	}
+	w := cov / varX
+	loss := varR - cov*cov/varX
+	if loss < 0 {
+		loss = 0
+	}
+	m.Line = Line{W: w, B: (mr - w*mx) - w*float64(p.origin)}
+	m.Loss = loss
+	return m
+}
+
+// MaxAbsResidual returns the largest |predicted − actual rank| of the model
+// over the set — the quantity that dictates the last-mile search window in a
+// learned index.
+func MaxAbsResidual(l Line, ks keys.Set) float64 {
+	worst := 0.0
+	for i := 0; i < ks.Len(); i++ {
+		d := math.Abs(l.Predict(ks.At(i)) - float64(i+1))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,183 @@
+package rmi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/nn"
+)
+
+// Binary serialization of a built index: magic, root kind, fanout, the key
+// set (delta-varint, via keys.WriteBinary), the stage-1 state, and every
+// second-stage model. A deserialized index answers queries identically to
+// the original (golden-tested), so a trained RMI can be built offline and
+// shipped.
+var rmiMagic = [8]byte{'C', 'D', 'F', 'R', 'M', 'I', '0', '1'}
+
+type fieldWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (fw *fieldWriter) u64(v uint64) {
+	if fw.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, fw.err = fw.w.Write(buf[:])
+}
+
+func (fw *fieldWriter) f64(v float64) { fw.u64(math.Float64bits(v)) }
+func (fw *fieldWriter) i64(v int64)   { fw.u64(uint64(v)) }
+
+type fieldReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (fr *fieldReader) u64() uint64 {
+	if fr.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(fr.r, buf[:]); err != nil {
+		fr.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (fr *fieldReader) f64() float64 { return math.Float64frombits(fr.u64()) }
+func (fr *fieldReader) i64() int64   { return int64(fr.u64()) }
+
+// WriteBinary serializes the index.
+func (idx *Index) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(rmiMagic[:]); err != nil {
+		return fmt.Errorf("rmi: write magic: %w", err)
+	}
+	fw := &fieldWriter{w: bw}
+	fw.u64(uint64(idx.cfg.Root))
+	fw.u64(uint64(len(idx.models)))
+	if fw.err != nil {
+		return fmt.Errorf("rmi: write header: %w", fw.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := idx.ks.WriteBinary(w); err != nil {
+		return fmt.Errorf("rmi: write keys: %w", err)
+	}
+	bw = bufio.NewWriter(w)
+	fw = &fieldWriter{w: bw}
+	switch idx.cfg.Root {
+	case RootPerfect:
+		fw.u64(uint64(len(idx.boundaries)))
+		for _, b := range idx.boundaries {
+			fw.i64(b)
+		}
+	case RootLinear:
+		fw.f64(idx.rootLine.W)
+		fw.f64(idx.rootLine.B)
+	case RootNN:
+		if fw.err == nil {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if err := idx.rootNN.WriteBinary(w); err != nil {
+				return fmt.Errorf("rmi: write nn: %w", err)
+			}
+			bw = bufio.NewWriter(w)
+			fw = &fieldWriter{w: bw}
+		}
+	}
+	for _, s := range idx.models {
+		fw.f64(s.line.W)
+		fw.f64(s.line.B)
+		fw.f64(s.eLo)
+		fw.f64(s.eHi)
+		fw.u64(uint64(s.assigned))
+		fw.i64(s.firstKey)
+		fw.i64(s.lastKey)
+		fw.f64(s.localMSE)
+		if s.saturated {
+			fw.u64(1)
+		} else {
+			fw.u64(0)
+		}
+	}
+	if fw.err != nil {
+		return fmt.Errorf("rmi: write models: %w", fw.err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes an index written by WriteBinary.
+func ReadBinary(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("rmi: read magic: %w", err)
+	}
+	if magic != rmiMagic {
+		return nil, fmt.Errorf("rmi: bad magic %q", magic[:])
+	}
+	fr := &fieldReader{r: br}
+	root := RootKind(fr.u64())
+	numModels := int(fr.u64())
+	if fr.err != nil {
+		return nil, fmt.Errorf("rmi: read header: %w", fr.err)
+	}
+	if numModels < 0 || numModels > 1<<30 {
+		return nil, fmt.Errorf("rmi: implausible model count %d", numModels)
+	}
+	ks, err := keys.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: read keys: %w", err)
+	}
+	idx := &Index{ks: ks, cfg: Config{Fanout: numModels, Root: root}}
+	switch root {
+	case RootPerfect:
+		nb := int(fr.u64())
+		if nb < 0 || nb > 1<<30 {
+			return nil, fmt.Errorf("rmi: implausible boundary count %d", nb)
+		}
+		idx.boundaries = make([]int64, nb)
+		for i := range idx.boundaries {
+			idx.boundaries[i] = fr.i64()
+		}
+	case RootLinear:
+		idx.rootLine.W = fr.f64()
+		idx.rootLine.B = fr.f64()
+	case RootNN:
+		mlp, err := nn.ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("rmi: read nn: %w", err)
+		}
+		idx.rootNN = mlp
+	default:
+		return nil, fmt.Errorf("rmi: unknown root kind %d", root)
+	}
+	idx.models = make([]stage2, numModels)
+	for i := range idx.models {
+		s := &idx.models[i]
+		s.line.W = fr.f64()
+		s.line.B = fr.f64()
+		s.eLo = fr.f64()
+		s.eHi = fr.f64()
+		s.assigned = int(fr.u64())
+		s.firstKey = fr.i64()
+		s.lastKey = fr.i64()
+		s.localMSE = fr.f64()
+		s.saturated = fr.u64() == 1
+	}
+	if fr.err != nil {
+		return nil, fmt.Errorf("rmi: read models: %w", fr.err)
+	}
+	return idx, nil
+}

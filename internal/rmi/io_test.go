@@ -1,0 +1,74 @@
+package rmi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cdfpoison/internal/nn"
+)
+
+func TestIndexBinaryRoundTripAllRoots(t *testing.T) {
+	ks := uniformSet(t, 50, 1200, 30000)
+	for _, root := range []RootKind{RootPerfect, RootLinear, RootNN} {
+		cfg := Config{Fanout: 12, Root: root}
+		if root == RootNN {
+			cfg.NN = nn.Config{Hidden: 8, Epochs: 40, Seed: 5}
+		}
+		orig, err := Build(ks, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", root, err)
+		}
+		var buf bytes.Buffer
+		if err := orig.WriteBinary(&buf); err != nil {
+			t.Fatalf("%v: write: %v", root, err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%v: read: %v", root, err)
+		}
+		// The deserialized index must answer every query identically.
+		if got.Fanout() != orig.Fanout() || got.Len() != orig.Len() || got.Root() != orig.Root() {
+			t.Fatalf("%v: shape mismatch", root)
+		}
+		for i := 0; i < ks.Len(); i++ {
+			k := ks.At(i)
+			a, b := orig.Lookup(k), got.Lookup(k)
+			if a != b {
+				t.Fatalf("%v: lookup(%d) diverges: %+v vs %+v", root, k, a, b)
+			}
+			if orig.PredictPosition(k) != got.PredictPosition(k) {
+				t.Fatalf("%v: prediction diverges at %d", root, k)
+			}
+		}
+		// Absent keys too.
+		for k := ks.Min() + 1; k < ks.Min()+200; k++ {
+			if orig.Lookup(k) != got.Lookup(k) {
+				t.Fatalf("%v: absent-key lookup diverges at %d", root, k)
+			}
+		}
+		if orig.SecondStageMSE() != got.SecondStageMSE() {
+			t.Fatalf("%v: MSE diverges", root)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTANINDEX__")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream.
+	ks := uniformSet(t, 51, 100, 2000)
+	idx, err := Build(ks, Config{Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

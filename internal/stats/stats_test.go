@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdfpoison/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMomentsAgainstDirect(t *testing.T) {
+	rng := xrand.New(1)
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*50 + 1e9 // large offset stresses stability
+		m.Add(xs[i])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	wantVar := ss / float64(len(xs))
+	if !almost(m.Mean(), mean, 1e-3) {
+		t.Errorf("mean %v vs direct %v", m.Mean(), mean)
+	}
+	if !almost(m.Var(), wantVar, wantVar*1e-9+1e-9) {
+		t.Errorf("var %v vs direct %v", m.Var(), wantVar)
+	}
+	if m.N() != 1000 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Var() != 0 || m.SampleVar() != 0 {
+		t.Error("empty moments not zero")
+	}
+	m.Add(5)
+	if m.Mean() != 5 || m.Var() != 0 || m.SampleVar() != 0 {
+		t.Error("single-observation moments wrong")
+	}
+}
+
+func TestSampleVarBessel(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{1, 2, 3, 4} {
+		m.Add(x)
+	}
+	// mean 2.5, ss = 2.25+0.25+0.25+2.25 = 5; var = 1.25, sample var = 5/3.
+	if !almost(m.Var(), 1.25, 1e-12) {
+		t.Errorf("Var = %v", m.Var())
+	}
+	if !almost(m.SampleVar(), 5.0/3, 1e-12) {
+		t.Errorf("SampleVar = %v", m.SampleVar())
+	}
+	if !almost(m.Std(), math.Sqrt(1.25), 1e-12) {
+		t.Errorf("Std = %v", m.Std())
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{3, 1, 2, 4} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":   func() { Quantile(nil, 0.5) },
+		"q>1":     func() { Quantile([]float64{1}, 1.5) },
+		"q<0":     func() { Quantile([]float64{1}, -0.1) },
+		"boxplot": func() { NewBoxplot(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := xrand.New(2)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := Quantile(xs, q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestBoxplotKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100} // 100 is an outlier
+	b := NewBoxplot(xs)
+	if b.N != 9 || b.Min != 1 || b.Max != 100 {
+		t.Fatalf("basic fields wrong: %+v", b)
+	}
+	if b.Median != 5 {
+		t.Errorf("median = %v, want 5", b.Median)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.WhiskerHi != 8 {
+		t.Errorf("whisker high = %v, want 8", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 1 {
+		t.Errorf("whisker low = %v, want 1", b.WhiskerLo)
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestBoxplotOrderingInvariant(t *testing.T) {
+	// Note: WhiskerLo <= Q1 is NOT an invariant — quantiles interpolate, so
+	// a dataset like {0, 100, 101, 102} has Q1 = 75 while every observation
+	// below the box is an outlier and the low whisker clamps to 100. The
+	// true invariants are the quartile ordering, whisker ordering, and that
+	// whiskers are actual observations within [Min, Max].
+	f := func(seed uint32) bool {
+		r := xrand.New(uint64(seed))
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		b := NewBoxplot(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.Min <= b.WhiskerLo && b.WhiskerLo <= b.WhiskerHi && b.WhiskerHi <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// The documented counterexample.
+	b := NewBoxplot([]float64{0, 100, 101, 102})
+	if b.WhiskerLo <= b.Q1 {
+		t.Fatalf("expected WhiskerLo (%v) above interpolated Q1 (%v) on the counterexample", b.WhiskerLo, b.Q1)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 42} {
+		h.Add(x)
+	}
+	if got := h.Total(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("out of range = (%d,%d), want (1,2)", under, over)
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != wantCounts[i] {
+			t.Errorf("bin %d = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bins":  func() { NewHistogram(0, 1, 0) },
+		"range": func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 100}); !almost(got, 10, 1e-9) {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean degenerate cases wrong")
+	}
+}
