@@ -1,6 +1,7 @@
 package cdfpoison
 
 import (
+	"context"
 	"io"
 
 	"cdfpoison/internal/blackbox"
@@ -91,6 +92,25 @@ func FitCDF(ks KeySet) (Model, error) { return regression.FitCDF(ks) }
 func EvaluateCDF(l Line, ks KeySet) (float64, error) { return regression.EvaluateCDF(l, ks) }
 
 // ---------------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------------
+
+// AttackOption tunes how an attack entry point executes (worker count,
+// cancellation) without changing what it computes: for any parallelism the
+// result is byte-identical to the sequential run. See internal/engine for
+// the determinism contract.
+type AttackOption = core.Option
+
+// WithParallelism bounds the attack's worker pool: n == 1 runs
+// sequentially on the calling goroutine (the default), n > 1 uses exactly
+// n workers, and n <= 0 uses one worker per core.
+func WithParallelism(n int) AttackOption { return core.WithWorkers(n) }
+
+// WithCancellation makes the attack abort with ctx.Err() once ctx is
+// cancelled, checking between candidate evaluations.
+func WithCancellation(ctx context.Context) AttackOption { return core.WithContext(ctx) }
+
+// ---------------------------------------------------------------------------
 // Poisoning attacks (the paper's contribution)
 // ---------------------------------------------------------------------------
 
@@ -120,27 +140,36 @@ var (
 
 // OptimalSinglePoint finds the poisoning key maximizing the retrained MSE in
 // O(n), evaluating only gap endpoints (Theorem 2).
-func OptimalSinglePoint(ks KeySet) (SinglePointResult, error) { return core.OptimalSinglePoint(ks) }
+func OptimalSinglePoint(ks KeySet, opts ...AttackOption) (SinglePointResult, error) {
+	return core.OptimalSinglePoint(ks, opts...)
+}
 
 // BruteForceSinglePoint evaluates every unoccupied interior key — the
 // correctness oracle and ablation baseline for OptimalSinglePoint.
-func BruteForceSinglePoint(ks KeySet) (SinglePointResult, error) {
-	return core.BruteForceSinglePoint(ks)
+func BruteForceSinglePoint(ks KeySet, opts ...AttackOption) (SinglePointResult, error) {
+	return core.BruteForceSinglePoint(ks, opts...)
 }
 
 // GreedyMultiPoint inserts up to p poisoning keys, each locally optimal
 // (Algorithm 1); it stops early if the domain saturates or no insertion can
-// increase the loss.
-func GreedyMultiPoint(ks KeySet, p int) (GreedyResult, error) { return core.GreedyMultiPoint(ks, p) }
+// increase the loss. WithParallelism spreads each step's candidate scan
+// across workers without changing any result byte.
+func GreedyMultiPoint(ks KeySet, p int, opts ...AttackOption) (GreedyResult, error) {
+	return core.GreedyMultiPoint(ks, p, opts...)
+}
 
 // LossSequence evaluates the poisoned loss for every feasible poisoning key
 // (the Figure 3 curve); the second result is the clean loss.
-func LossSequence(ks KeySet) ([]LossPoint, float64, error) { return core.LossSequence(ks) }
+func LossSequence(ks KeySet, opts ...AttackOption) ([]LossPoint, float64, error) {
+	return core.LossSequence(ks, opts...)
+}
 
 // RMIAttack poisons the second stage of a two-stage RMI (Algorithm 2):
 // greedy volume allocation across models under a per-model threshold.
-func RMIAttack(ks KeySet, opts RMIAttackOptions) (RMIAttackResult, error) {
-	return core.RMIAttack(ks, opts)
+// WithParallelism fans the per-model attacks out across workers; the
+// result is identical for every worker count.
+func RMIAttack(ks KeySet, opts RMIAttackOptions, execOpts ...AttackOption) (RMIAttackResult, error) {
+	return core.RMIAttack(ks, opts, execOpts...)
 }
 
 // RemovalResult reports an optimal single-key removal attack.

@@ -2,7 +2,9 @@ package cdfpoison_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -151,5 +153,46 @@ func TestBTreeFacade(t *testing.T) {
 	}
 	if bt.Len() != 3 || !bt.Contains(9) {
 		t.Fatal("btree facade broken")
+	}
+}
+
+// TestWithParallelismPublicAPI exercises the exported parallelism options
+// end to end: a parallel attack must match the sequential default exactly,
+// and a pre-cancelled context must abort the attack.
+func TestWithParallelismPublicAPI(t *testing.T) {
+	rng := cdfpoison.NewRNG(31)
+	ks, err := cdfpoison.LogNormalKeys(rng, 1500, 300_000, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cdfpoison.GreedyMultiPoint(ks, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := cdfpoison.GreedyMultiPoint(ks, 60, cdfpoison.WithParallelism(0)) // all cores
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("WithParallelism changed the greedy attack result")
+	}
+
+	rseq, err := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{NumModels: 15, Percent: 10, Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpar, err := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{NumModels: 15, Percent: 10, Alpha: 3},
+		cdfpoison.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rseq, rpar) {
+		t.Fatal("WithParallelism changed the RMI attack result")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cdfpoison.GreedyMultiPoint(ks, 60, cdfpoison.WithParallelism(2), cdfpoison.WithCancellation(ctx)); err == nil {
+		t.Fatal("cancelled context did not abort the attack")
 	}
 }

@@ -26,14 +26,15 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|all")
-		scale = flag.String("scale", "default", "experiment scale: quick|default|large")
-		seed  = flag.Uint64("seed", 42, "root RNG seed")
-		out   = flag.String("out", "", "directory for CSV output (optional)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|all")
+		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
+		seed    = flag.Uint64("seed", 42, "root RNG seed")
+		out     = flag.String("out", "", "directory for CSV output (optional)")
+		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 	)
 	flag.Parse()
 
-	opts := bench.Options{Scale: bench.Scale(*scale), Seed: *seed}
+	opts := bench.Options{Scale: bench.Scale(*scale), Seed: *seed, Workers: *workers}
 	switch opts.Scale {
 	case bench.ScaleQuick, bench.ScaleDefault, bench.ScaleLarge:
 	default:

@@ -127,6 +127,7 @@ func cmdAttack(args []string) error {
 	models := fs.Int("models", 0, "RMI fanout N (alternative to -modelsize)")
 	alpha := fs.Float64("alpha", 3, "per-model poisoning threshold multiplier (RMI)")
 	removal := fs.Bool("removal", false, "mount the deletion adversary instead of injection")
+	workers := fs.Int("workers", 0, "worker pool size for the attack: 0 = one per core, 1 = sequential; results are identical for any value (injection attacks only)")
 	out := fs.String("o", "", "output file for poison (or removed) keys (required)")
 	outAll := fs.String("o-poisoned", "", "optional output file for the full poisoned (or surviving) key set")
 	fs.Parse(args)
@@ -167,7 +168,7 @@ func cmdAttack(args []string) error {
 	var poisoned cdfpoison.KeySet
 	if *modelSize == 0 && *models == 0 {
 		budget := int(float64(ks.Len()) * *percent / 100)
-		g, err := cdfpoison.GreedyMultiPoint(ks, budget)
+		g, err := cdfpoison.GreedyMultiPoint(ks, budget, cdfpoison.WithParallelism(*workers))
 		if err != nil {
 			return fmt.Errorf("attack: %w", err)
 		}
@@ -188,7 +189,7 @@ func cmdAttack(args []string) error {
 		}
 		res, err := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{
 			NumModels: N, Percent: *percent, Alpha: *alpha,
-		})
+		}, cdfpoison.WithParallelism(*workers))
 		if err != nil {
 			return fmt.Errorf("attack: %w", err)
 		}

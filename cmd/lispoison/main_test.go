@@ -203,3 +203,32 @@ func TestWriteKeysRoundTrip(t *testing.T) {
 		t.Fatalf("file format: %q", data)
 	}
 }
+
+// TestAttackWorkersFlagDeterminism: -workers must never change the attack
+// output — the poison files for sequential and parallel runs are identical
+// bytes, for both the regression and the RMI attack modes.
+func TestAttackWorkersFlagDeterminism(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "lognormal", "-n", "800", "-domain", "200000", "-seed", "11", "-o", keysFile}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	run := func(extra ...string) string {
+		t.Helper()
+		out := tmpPath(t, "poison.txt")
+		args := append([]string{"-in", keysFile, "-percent", "10", "-o", out}, extra...)
+		if err := cmdAttack(args); err != nil {
+			t.Fatalf("attack %v: %v", extra, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if seq, par := run("-workers", "1"), run("-workers", "4"); seq != par {
+		t.Fatal("regression attack output depends on -workers")
+	}
+	if seq, par := run("-workers", "1", "-modelsize", "80"), run("-workers", "4", "-modelsize", "80"); seq != par {
+		t.Fatal("RMI attack output depends on -workers")
+	}
+}

@@ -38,6 +38,25 @@
 //	idx, _ := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 100})
 //	r := idx.Lookup(key)    // r.Found, r.Pos, r.Probes
 //
+// # Parallel execution
+//
+// Attack entry points accept execution options. WithParallelism(n) runs the
+// hot loops — per-gap candidate evaluation in Algorithm 1, per-segment
+// second-stage attacks in Algorithm 2 — on a bounded worker pool (n == 1
+// sequential, n > 1 exactly n workers, n <= 0 one worker per core), and
+// WithCancellation(ctx) aborts mid-attack when ctx is cancelled:
+//
+//	atk, _ := cdfpoison.GreedyMultiPoint(ks, 50, cdfpoison.WithParallelism(0))
+//	res, _ := cdfpoison.RMIAttack(ks, opts, cdfpoison.WithParallelism(8))
+//
+// The determinism contract: parallelism never changes results. Worker pools
+// distribute tasks dynamically but reduce results in task-index order
+// (internal/engine), so any worker count produces output byte-identical to
+// the sequential run — equivalence tests enforce this for every
+// parallelized path. The cmd/lisbench and cmd/lispoison tools expose the
+// same knob as -workers; the figure sweeps additionally fan out whole
+// experiment cells via internal/bench's Options.Workers.
+//
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper-vs-measured record of
 // every reproduced figure.

@@ -1,0 +1,45 @@
+package cdfpoison_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesVetAndRun keeps examples/ honest: every example program must
+// pass go vet and run to completion. Examples are the only code paths no
+// other test compiles, so without this they rot silently the first time an
+// API they use changes shape.
+func TestExamplesVetAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test spawns the go tool; skipped with -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dirs, err := filepath.Glob(filepath.Join("examples", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			pkg := "./" + filepath.ToSlash(dir)
+			if out, err := exec.Command(goBin, "vet", pkg).CombinedOutput(); err != nil {
+				t.Fatalf("go vet %s: %v\n%s", pkg, err, out)
+			}
+			out, err := exec.Command(goBin, "run", pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", pkg, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", pkg)
+			}
+		})
+	}
+}

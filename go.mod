@@ -1,0 +1,3 @@
+module cdfpoison
+
+go 1.22

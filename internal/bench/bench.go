@@ -12,6 +12,8 @@
 package bench
 
 import (
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/xrand"
 )
 
@@ -33,6 +35,13 @@ type Options struct {
 	Seed  uint64
 	// Trials overrides the per-cell repetition count (0 = scale default).
 	Trials int
+	// Workers bounds the worker pool for the figure sweeps: 1 = sequential,
+	// n > 1 = exactly n workers, 0 or negative = one worker per core.
+	// Results are identical for every value (the engine's determinism
+	// contract, enforced by the equivalence tests); Workers is purely a
+	// wall-clock knob. Key-set GENERATION always stays sequential so the
+	// RNG stream — and therefore every dataset — is worker-independent.
+	Workers int
 }
 
 func (o Options) fill() Options {
@@ -48,6 +57,15 @@ func (o Options) fill() Options {
 // rng derives the root RNG for a runner; each cell must Split() from it so
 // that cells are independent of iteration order.
 func (o Options) rng() *xrand.RNG { return xrand.New(o.Seed) }
+
+// pool builds the sweep-level worker pool (see Options.Workers).
+func (o Options) pool() *engine.Pool { return engine.New(o.Workers) }
+
+// coreOpts forwards the runner's worker budget to a core attack call when
+// the attack itself is the sweep's hot path (the small fig2-4 experiments
+// run one attack, so parallelism belongs inside it). Cell fan-out paths
+// instead keep inner attacks sequential to avoid nested oversubscription.
+func (o Options) coreOpts() []core.Option { return []core.Option{core.WithWorkers(o.Workers)} }
 
 // CellBox couples an experiment cell's identity with the distribution of its
 // observed ratio losses.

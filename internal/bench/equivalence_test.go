@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// equivWorkers compares sequential against a forced multi-goroutine pool
+// and, when different, the host's core count — the workers=1 vs
+// workers=NumCPU equivalence criterion.
+func equivWorkers() []int {
+	counts := []int{4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func quick(workers int) Options {
+	return Options{Scale: ScaleQuick, Seed: 42, Workers: workers}
+}
+
+// TestRegressionGridWorkerEquivalence: the full Figure 5 sweep — every
+// cell, every ratio, every boxplot — must be byte-identical across worker
+// counts.
+func TestRegressionGridWorkerEquivalence(t *testing.T) {
+	want, err := RegressionGrid(DistUniform, quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range equivWorkers() {
+		got, err := RegressionGrid(DistUniform, quick(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Figure 5 sweep diverged from sequential", w)
+		}
+	}
+}
+
+// TestRMISyntheticWorkerEquivalence: the Figure 6 sweep (Algorithm 2 per
+// cell) must be identical across worker counts.
+func TestRMISyntheticWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RMI sweep equivalence is not short")
+	}
+	want, err := RMISynthetic(quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range equivWorkers() {
+		got, err := RMISynthetic(quick(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Figure 6 sweep diverged from sequential", w)
+		}
+	}
+}
+
+// TestRealDataWorkerEquivalence: the Figure 7 sweep on the simulated
+// Miami salary dataset must be identical across worker counts.
+func TestRealDataWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-data sweep equivalence is not short")
+	}
+	want, err := RealData(DatasetSalaries, quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range equivWorkers() {
+		got, err := RealData(DatasetSalaries, quick(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Figure 7 sweep diverged from sequential", w)
+		}
+	}
+}
+
+// TestFig2to4WorkerEquivalence: the small single-attack figures route the
+// worker budget into the core attack itself; outputs must not move.
+func TestFig2to4WorkerEquivalence(t *testing.T) {
+	want2, err := Fig2(quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3, err := Fig3(quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want4, err := Fig4(quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range equivWorkers() {
+		got2, err := Fig2(quick(w))
+		if err != nil {
+			t.Fatalf("fig2 workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got2, want2) {
+			t.Fatalf("workers=%d: Figure 2 diverged from sequential", w)
+		}
+		got3, err := Fig3(quick(w))
+		if err != nil {
+			t.Fatalf("fig3 workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got3, want3) {
+			t.Fatalf("workers=%d: Figure 3 diverged from sequential", w)
+		}
+		got4, err := Fig4(quick(w))
+		if err != nil {
+			t.Fatalf("fig4 workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got4, want4) {
+			t.Fatalf("workers=%d: Figure 4 diverged from sequential", w)
+		}
+	}
+}

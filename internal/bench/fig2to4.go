@@ -39,7 +39,7 @@ func Fig2(opts Options) (Fig2Result, error) {
 			return Fig2Result{}, err
 		}
 	}
-	sp, err := core.OptimalSinglePoint(ks)
+	sp, err := core.OptimalSinglePoint(ks, opts.coreOpts()...)
 	if err != nil {
 		return Fig2Result{}, fmt.Errorf("bench: fig2 attack: %w", err)
 	}
@@ -89,11 +89,11 @@ func Fig3(opts Options) (Fig3Result, error) {
 			return Fig3Result{}, err
 		}
 	}
-	seq, clean, err := core.LossSequence(ks)
+	seq, clean, err := core.LossSequence(ks, opts.coreOpts()...)
 	if err != nil {
 		return Fig3Result{}, err
 	}
-	conv, err := core.CheckGapConvexity(ks)
+	conv, err := core.CheckGapConvexity(ks, opts.coreOpts()...)
 	if err != nil {
 		return Fig3Result{}, err
 	}
@@ -146,7 +146,7 @@ func Fig4(opts Options) (Fig4Result, error) {
 			gapOf[k] = float64(g.Width())
 		}
 	}
-	g, err := core.GreedyMultiPoint(ks, 10)
+	g, err := core.GreedyMultiPoint(ks, 10, opts.coreOpts()...)
 	if err != nil {
 		return Fig4Result{}, err
 	}

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/stats"
 	"cdfpoison/internal/xrand"
@@ -78,6 +80,7 @@ func RegressionGrid(dist Distribution, opts Options) (RegressionGridResult, erro
 		trials = opts.Trials
 	}
 	root := opts.rng()
+	pool := opts.pool()
 	res := RegressionGridResult{Dist: dist, Trials: trials}
 	for _, n := range keyCounts {
 		for _, dens := range densities {
@@ -85,7 +88,8 @@ func RegressionGrid(dist Distribution, opts Options) (RegressionGridResult, erro
 			cellRng := root.Split()
 			// Draw the `trials` key sets once per (n, density) cell so that
 			// poisoning percentages are compared on identical data, as in
-			// the paper's plots.
+			// the paper's plots. Generation stays sequential: the RNG
+			// stream must not depend on the worker count.
 			sets := make([]keys.Set, trials)
 			for t := 0; t < trials; t++ {
 				ks, err := dist.generate(cellRng, n, m)
@@ -94,7 +98,40 @@ func RegressionGrid(dist Distribution, opts Options) (RegressionGridResult, erro
 				}
 				sets[t] = ks
 			}
+			// Fan the (percentage, trial) attack grid out across the pool;
+			// each attack is pure, and results are folded back pct-major /
+			// trial-minor — the exact sequential iteration order.
+			type task struct {
+				pct    float64
+				budget int
+				trial  int
+			}
+			var tasks []task
 			for _, pct := range poisonPcts {
+				budget := int(float64(n) * pct / 100)
+				if budget < 1 {
+					budget = 1
+				}
+				for t := 0; t < trials; t++ {
+					tasks = append(tasks, task{pct: pct, budget: budget, trial: t})
+				}
+			}
+			type attackOut struct {
+				ratio     float64
+				truncated bool
+			}
+			outs, err := engine.Map(context.Background(), pool, len(tasks), func(i int) (attackOut, error) {
+				tk := tasks[i]
+				g, err := core.GreedyMultiPoint(sets[tk.trial], tk.budget)
+				if err != nil {
+					return attackOut{}, fmt.Errorf("bench: grid attack n=%d dens=%v pct=%v: %w", n, dens, tk.pct, err)
+				}
+				return attackOut{ratio: g.RatioLoss(), truncated: g.Truncated}, nil
+			})
+			if err != nil {
+				return RegressionGridResult{}, err
+			}
+			for pi, pct := range poisonPcts {
 				cell := RegressionGridCell{
 					Dist:       dist,
 					Keys:       n,
@@ -102,19 +139,12 @@ func RegressionGrid(dist Distribution, opts Options) (RegressionGridResult, erro
 					Domain:     m,
 					PoisonPct:  pct,
 				}
-				budget := int(float64(n) * pct / 100)
-				if budget < 1 {
-					budget = 1
-				}
 				for t := 0; t < trials; t++ {
-					g, err := core.GreedyMultiPoint(sets[t], budget)
-					if err != nil {
-						return RegressionGridResult{}, fmt.Errorf("bench: grid attack n=%d dens=%v pct=%v: %w", n, dens, pct, err)
-					}
-					if g.Truncated {
+					out := outs[pi*trials+t]
+					if out.truncated {
 						cell.Truncated++
 					}
-					cell.Ratios = append(cell.Ratios, g.RatioLoss())
+					cell.Ratios = append(cell.Ratios, out.ratio)
 				}
 				cell.Box = stats.NewBoxplot(cell.Ratios)
 				res.Cells = append(res.Cells, cell)

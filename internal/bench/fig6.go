@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"cdfpoison/internal/core"
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/stats"
 )
 
@@ -57,6 +59,7 @@ func RMISynthetic(opts Options) (RMISyntheticResult, error) {
 	opts = opts.fill()
 	n, modelSizes, domainMults, poisonPcts, alphas := rmiShape(opts.Scale)
 	root := opts.rng()
+	pool := opts.pool()
 	res := RMISyntheticResult{Keys: n}
 	for _, dist := range []Distribution{DistUniform, DistLogNormal} {
 		for _, mult := range domainMults {
@@ -66,26 +69,42 @@ func RMISynthetic(opts Options) (RMISyntheticResult, error) {
 			if err != nil {
 				return RMISyntheticResult{}, fmt.Errorf("bench: fig6 %s domain=%d: %w", dist, m, err)
 			}
+			// Every (model size, poisoning %, alpha) attack on this dataset
+			// is independent; fan them out and append cells in the original
+			// size-major iteration order.
+			type combo struct {
+				size       int
+				pct, alpha float64
+			}
+			var combos []combo
 			for _, size := range modelSizes {
-				N := n / size
-				if N < 1 {
-					N = 1
-				}
 				for _, pct := range poisonPcts {
 					for _, alpha := range alphas {
-						atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
-							NumModels: N,
-							Percent:   pct,
-							Alpha:     alpha,
-							MaxMoves:  maxMovesFor(opts.Scale, N),
-						})
-						if err != nil {
-							return RMISyntheticResult{}, fmt.Errorf("bench: fig6 attack %s size=%d pct=%v α=%v: %w", dist, size, pct, alpha, err)
-						}
-						res.Cells = append(res.Cells, newRMICell(dist, n, m, size, pct, alpha, atk))
+						combos = append(combos, combo{size: size, pct: pct, alpha: alpha})
 					}
 				}
 			}
+			cells, err := engine.Map(context.Background(), pool, len(combos), func(i int) (RMICell, error) {
+				c := combos[i]
+				N := n / c.size
+				if N < 1 {
+					N = 1
+				}
+				atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
+					NumModels: N,
+					Percent:   c.pct,
+					Alpha:     c.alpha,
+					MaxMoves:  maxMovesFor(opts.Scale, N),
+				})
+				if err != nil {
+					return RMICell{}, fmt.Errorf("bench: fig6 attack %s size=%d pct=%v α=%v: %w", dist, c.size, c.pct, c.alpha, err)
+				}
+				return newRMICell(dist, n, m, c.size, c.pct, c.alpha, atk), nil
+			})
+			if err != nil {
+				return RMISyntheticResult{}, err
+			}
+			res.Cells = append(res.Cells, cells...)
 		}
 	}
 	return res, nil

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/xrand"
 )
@@ -85,24 +87,39 @@ func RealData(ds RealDataset, opts Options) (RealDataResult, error) {
 		poisonPcts = []float64{5, 20}
 	}
 	const alpha = 3.0
+	// Fan the (model size, poisoning %) grid out across the pool; cells
+	// return in size-major order, matching the sequential sweep.
+	type combo struct {
+		size int
+		pct  float64
+	}
+	var combos []combo
 	for _, size := range modelSizes {
-		N := ks.Len() / size
+		for _, pct := range poisonPcts {
+			combos = append(combos, combo{size: size, pct: pct})
+		}
+	}
+	cells, err := engine.Map(context.Background(), opts.pool(), len(combos), func(i int) (RMICell, error) {
+		c := combos[i]
+		N := ks.Len() / c.size
 		if N < 1 {
 			N = 1
 		}
-		for _, pct := range poisonPcts {
-			atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
-				NumModels: N,
-				Percent:   pct,
-				Alpha:     alpha,
-				MaxMoves:  maxMovesFor(opts.Scale, N),
-			})
-			if err != nil {
-				return RealDataResult{}, fmt.Errorf("bench: fig7 %s size=%d pct=%v: %w", ds, size, pct, err)
-			}
-			res.Cells = append(res.Cells, newRMICell(Distribution(ds), ks.Len(), domain, size, pct, alpha, atk))
+		atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
+			NumModels: N,
+			Percent:   c.pct,
+			Alpha:     alpha,
+			MaxMoves:  maxMovesFor(opts.Scale, N),
+		})
+		if err != nil {
+			return RMICell{}, fmt.Errorf("bench: fig7 %s size=%d pct=%v: %w", ds, c.size, c.pct, err)
 		}
+		return newRMICell(Distribution(ds), ks.Len(), domain, c.size, c.pct, alpha, atk), nil
+	})
+	if err != nil {
+		return RealDataResult{}, err
 	}
+	res.Cells = append(res.Cells, cells...)
 	return res, nil
 }
 

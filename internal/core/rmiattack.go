@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/keys"
 )
 
@@ -112,30 +114,46 @@ type rmiAttackState struct {
 	budget []int
 	loss   []float64 // current poisoned loss per model
 	thresh int
-	memo   map[memoKey]memoVal
+	ex     exec
+
+	mu   sync.Mutex          // guards memo; values are deterministic, so a racing
+	memo map[memoKey]memoVal // recompute stores the identical bytes
 }
 
 // evalRange runs the greedy attack (Algorithm 1) on the key range
 // [lo, hi) with the given budget, memoized. Degenerate ranges (< 2 keys)
 // evaluate to zero loss and zero injections.
+//
+// Safe for concurrent use: the memo is mutex-protected and the greedy
+// attack itself runs outside the lock. Two workers may race to evaluate the
+// same triple, but GreedyMultiPoint is deterministic, so both compute the
+// same value and the double store is harmless.
+//
+// The attack context is threaded into the inner greedy attack so a
+// cancellation aborts mid-segment rather than after the full O(p·n) run;
+// the poisoned value is NOT memoized in that case, and the surrounding
+// engine.Map surfaces ctx.Err() at its next task boundary, discarding it.
 func (st *rmiAttackState) evalRange(lo, hi, budget int) memoVal {
 	k := memoKey{lo, hi, budget}
-	if v, ok := st.memo[k]; ok {
+	st.mu.Lock()
+	v, ok := st.memo[k]
+	st.mu.Unlock()
+	if ok {
 		return v
 	}
-	var v memoVal
 	if hi-lo >= 2 {
 		sub := st.ks.Slice(lo, hi)
-		g, err := GreedyMultiPoint(sub, budget)
+		g, err := GreedyMultiPoint(sub, budget, WithContext(st.ex.ctx))
 		if err != nil {
-			// Only ErrTooFew is possible here and the guard above excludes
-			// it; treat any residual error as a zero-effect evaluation.
-			v = memoVal{}
-		} else {
-			v = memoVal{loss: g.FinalLoss(), injected: len(g.Poison)}
+			// Cancelled mid-attack (ErrTooFew is excluded by the guard
+			// above): return a zero value without memoizing it.
+			return memoVal{}
 		}
+		v = memoVal{loss: g.FinalLoss(), injected: len(g.Poison)}
 	}
+	st.mu.Lock()
 	st.memo[k] = v
+	st.mu.Unlock()
 	return v
 }
 
@@ -212,7 +230,12 @@ func (st *rmiAttackState) computeBackward(i int) exchange {
 //
 // The returned result contains per-model reports, the union of poisoning
 // keys, and the RMI-level loss ratio.
-func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
+//
+// Per-segment work — the clean baseline, the initial volume allocation, the
+// CHANGELOSS table, the post-move recomputes, and the final materialization
+// — fans out across WithWorkers(n) workers. Results are reduced in model
+// index order, so the outcome is identical for every worker count.
+func RMIAttack(ks keys.Set, opts RMIAttackOptions, execOpts ...Option) (RMIAttackResult, error) {
 	n := ks.Len()
 	if err := opts.validate(n); err != nil {
 		return RMIAttackResult{}, err
@@ -239,6 +262,7 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
 		budget: make([]int, N),
 		loss:   make([]float64, N),
 		memo:   make(map[memoKey]memoVal, 4*N),
+		ex:     newExec(execOpts),
 	}
 
 	// Equal-size contiguous partitioning, first n%N chunks one key larger
@@ -291,25 +315,43 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
 	}
 
 	// Clean RMI loss on the original partitioning (the attack baseline).
+	// Per-model attacks are independent; fan them out and sum the returned
+	// losses in model order so the float accumulation is order-stable.
+	cleanLosses, err := engine.Map(st.ex.ctx, st.ex.pool, N, func(i int) (float64, error) {
+		return st.evalRange(st.bounds[i], st.bounds[i+1], 0).loss, nil
+	})
+	if err != nil {
+		return RMIAttackResult{}, err
+	}
 	cleanSum := 0.0
-	for i := 0; i < N; i++ {
-		cleanSum += st.evalRange(st.bounds[i], st.bounds[i+1], 0).loss
+	for _, l := range cleanLosses {
+		cleanSum += l
 	}
 	cleanRMI := cleanSum / float64(N)
 
 	// Phase 1: initial volume allocation via Algorithm 1 on every model.
-	for i := 0; i < N; i++ {
-		st.loss[i] = st.evalRange(st.bounds[i], st.bounds[i+1], st.budget[i]).loss
+	initLosses, err := engine.Map(st.ex.ctx, st.ex.pool, N, func(i int) (float64, error) {
+		return st.evalRange(st.bounds[i], st.bounds[i+1], st.budget[i]).loss, nil
+	})
+	if err != nil {
+		return RMIAttackResult{}, err
 	}
+	copy(st.loss, initLosses)
 
 	// Phases 2–4: CHANGELOSS table + greedy exchanges.
 	moves := 0
 	if !opts.DisableExchanges && N > 1 {
 		fwd := make([]exchange, N-1)
 		bwd := make([]exchange, N-1)
-		for i := 0; i < N-1; i++ {
-			fwd[i] = st.computeForward(i)
-			bwd[i] = st.computeBackward(i)
+		type fbPair struct{ f, b exchange }
+		table, err := engine.Map(st.ex.ctx, st.ex.pool, N-1, func(i int) (fbPair, error) {
+			return fbPair{st.computeForward(i), st.computeBackward(i)}, nil
+		})
+		if err != nil {
+			return RMIAttackResult{}, err
+		}
+		for i, p := range table {
+			fwd[i], bwd[i] = p.f, p.b
 		}
 		for moves < maxMoves {
 			bestDelta := eps
@@ -338,12 +380,27 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
 				st.budget[i+1]--
 			}
 			moves++
-			// Only entries referencing models i−1, i, i+1, i+2 changed.
+			// Only entries referencing models i−1, i, i+1, i+2 changed;
+			// recompute those (up to three fwd/bwd pairs) concurrently.
+			var touched []int
 			for _, j := range []int{i - 1, i, i + 1} {
 				if j >= 0 && j < N-1 {
-					fwd[j] = st.computeForward(j)
-					bwd[j] = st.computeBackward(j)
+					touched = append(touched, j)
 				}
+			}
+			type jPair struct {
+				j    int
+				f, b exchange
+			}
+			recomputed, err := engine.Map(st.ex.ctx, st.ex.pool, len(touched), func(t int) (jPair, error) {
+				j := touched[t]
+				return jPair{j, st.computeForward(j), st.computeBackward(j)}, nil
+			})
+			if err != nil {
+				return RMIAttackResult{}, err
+			}
+			for _, p := range recomputed {
+				fwd[p.j], bwd[p.j] = p.f, p.b
 			}
 		}
 	}
@@ -356,9 +413,7 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
 		Moves:        moves,
 		Threshold:    st.thresh,
 	}
-	poisonedSum := 0.0
-	var allPoison []int64
-	for i := 0; i < N; i++ {
+	reports, err := engine.Map(st.ex.ctx, st.ex.pool, N, func(i int) (ModelReport, error) {
 		lo, hi := st.bounds[i], st.bounds[i+1]
 		rep := ModelReport{
 			Index:     i,
@@ -367,9 +422,9 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
 		}
 		rep.CleanLoss = st.evalRange(lo, hi, 0).loss
 		if hi-lo >= 2 && st.budget[i] > 0 {
-			g, err := GreedyMultiPoint(st.ks.Slice(lo, hi), st.budget[i])
+			g, err := GreedyMultiPoint(st.ks.Slice(lo, hi), st.budget[i], WithContext(st.ex.ctx))
 			if err != nil && !errors.Is(err, ErrNoGap) {
-				return RMIAttackResult{}, fmt.Errorf("core: final attack on model %d: %w", i, err)
+				return ModelReport{}, fmt.Errorf("core: final attack on model %d: %w", i, err)
 			}
 			if err == nil {
 				rep.Injected = len(g.Poison)
@@ -382,6 +437,20 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions) (RMIAttackResult, error) {
 			rep.PoisonedLoss = rep.CleanLoss
 		}
 		rep.RatioLoss = SafeRatio(rep.PoisonedLoss, rep.CleanLoss)
+		return rep, nil
+	})
+	if err != nil {
+		return RMIAttackResult{}, err
+	}
+	// A cancellation inside the LAST task of a phase yields a zero-valued
+	// evalRange with no Map task left to surface ctx.Err(); never let such
+	// a partial result escape as a success.
+	if err := st.ex.ctx.Err(); err != nil {
+		return RMIAttackResult{}, err
+	}
+	poisonedSum := 0.0
+	var allPoison []int64
+	for i, rep := range reports {
 		poisonedSum += rep.PoisonedLoss
 		res.Injected += rep.Injected
 		allPoison = append(allPoison, rep.Poison...)

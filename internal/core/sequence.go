@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/regression"
 )
@@ -19,7 +20,7 @@ type LossPoint struct {
 //
 // The second return value is the clean (pre-poisoning) loss, drawn as the
 // horizontal reference line in the figure.
-func LossSequence(ks keys.Set) ([]LossPoint, float64, error) {
+func LossSequence(ks keys.Set, opts ...Option) ([]LossPoint, float64, error) {
 	if ks.Len() < 2 {
 		return nil, 0, ErrTooFew
 	}
@@ -27,12 +28,26 @@ func LossSequence(ks keys.Set) ([]LossPoint, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	ex := newExec(opts)
+	// Each chunk of neighbour pairs emits its slice of the sequence; chunk
+	// slices concatenate in chunk order, reproducing the sequential scan.
+	chunks, err := engine.MapChunks(ex.ctx, ex.pool, ks.Len()-1, engine.GrainFor(ks.Len()-1, ex.pool),
+		func(clo, chi int) ([]LossPoint, error) {
+			var part []LossPoint
+			for i := clo; i < chi; i++ {
+				pos := i + 1
+				for k := ks.At(i) + 1; k < ks.At(i+1); k++ {
+					part = append(part, LossPoint{Key: k, Loss: pre.PoisonedLoss(k, pos)})
+				}
+			}
+			return part, nil
+		})
+	if err != nil {
+		return nil, 0, err
+	}
 	var seq []LossPoint
-	for i := 0; i+1 < ks.Len(); i++ {
-		pos := i + 1
-		for k := ks.At(i) + 1; k < ks.At(i+1); k++ {
-			seq = append(seq, LossPoint{Key: k, Loss: pre.PoisonedLoss(k, pos)})
-		}
+	for _, part := range chunks {
+		seq = append(seq, part...)
 	}
 	if len(seq) == 0 {
 		return nil, 0, ErrNoGap
@@ -71,7 +86,7 @@ type GapConvexityReport struct {
 // poisoning key of its domain" — on every gap of the set. It returns one
 // report per gap that has interior keys (width ≥ 3). Used by property tests
 // and by the lisbench convexity ablation.
-func CheckGapConvexity(ks keys.Set) ([]GapConvexityReport, error) {
+func CheckGapConvexity(ks keys.Set, opts ...Option) ([]GapConvexityReport, error) {
 	if ks.Len() < 2 {
 		return nil, ErrTooFew
 	}
@@ -79,10 +94,14 @@ func CheckGapConvexity(ks keys.Set) ([]GapConvexityReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	var reports []GapConvexityReport
-	for _, g := range ks.Gaps() {
+	ex := newExec(opts)
+	gaps := ks.Gaps()
+	// One task per gap (gap widths vary wildly, so per-gap scheduling load
+	// balances); nil results for sub-width gaps are dropped in gap order.
+	perGap, err := engine.Map(ex.ctx, ex.pool, len(gaps), func(gi int) (*GapConvexityReport, error) {
+		g := gaps[gi]
 		if g.Width() < 3 {
-			continue
+			return nil, nil
 		}
 		pos := g.Rank - 1
 		epMax := pre.PoisonedLoss(g.Lo, pos)
@@ -97,12 +116,21 @@ func CheckGapConvexity(ks keys.Set) ([]GapConvexityReport, error) {
 				inMax, first = l, false
 			}
 		}
-		reports = append(reports, GapConvexityReport{
+		return &GapConvexityReport{
 			Gap:         g,
 			EndpointMax: epMax,
 			InteriorMax: inMax,
 			Excess:      inMax - epMax,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var reports []GapConvexityReport
+	for _, r := range perGap {
+		if r != nil {
+			reports = append(reports, *r)
+		}
 	}
 	return reports, nil
 }

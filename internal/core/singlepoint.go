@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/regression"
 )
@@ -65,8 +66,9 @@ func SafeRatio(poisoned, clean float64) float64 {
 // of the two endpoints; the attack therefore evaluates at most 2(n−1)
 // candidates, each in O(1) via regression.Prefix.
 //
-// Ties are broken toward the smaller key so results are deterministic.
-func OptimalSinglePoint(ks keys.Set) (SinglePointResult, error) {
+// Ties are broken toward the smaller key so results are deterministic, for
+// any worker count (see WithWorkers).
+func OptimalSinglePoint(ks keys.Set, opts ...Option) (SinglePointResult, error) {
 	if ks.Len() < 2 {
 		return SinglePointResult{}, ErrTooFew
 	}
@@ -74,31 +76,74 @@ func OptimalSinglePoint(ks keys.Set) (SinglePointResult, error) {
 	if err != nil {
 		return SinglePointResult{}, err
 	}
-	return optimalSinglePointPrefix(pre)
+	return optimalSinglePointPrefix(pre, newExec(opts))
 }
+
+// candidateBest is one chunk's locally-best candidate. Reducing these in
+// chunk order with a strict ">" comparison reproduces exactly the "first
+// maximum in scan order" the sequential loop picks, because chunks cover
+// contiguous, increasing index ranges.
+type candidateBest struct {
+	key        int64
+	rank       int
+	loss       float64
+	candidates int
+}
+
+// foldBest reduces per-chunk bests into res in chunk order. The strict ">"
+// preserves the sequential tie-break contract (first maximum in scan order);
+// both single-point attacks must fold through here so the contract lives in
+// one place.
+func foldBest(chunks []candidateBest, res *SinglePointResult) {
+	for _, b := range chunks {
+		res.Candidates += b.candidates
+		if b.candidates > 0 && b.loss > res.PoisonedLoss {
+			res.Key, res.Rank, res.PoisonedLoss = b.key, b.rank, b.loss
+		}
+	}
+}
+
+// endpointGrainFloor keeps chunks of the O(1)-per-candidate endpoint scan
+// large enough that scheduling overhead stays negligible.
+const endpointGrainFloor = 512
 
 // optimalSinglePointPrefix is the inner loop shared with the greedy attack,
 // which already holds a Prefix for the current (partially poisoned) set.
-func optimalSinglePointPrefix(pre *regression.Prefix) (SinglePointResult, error) {
+// The scan over neighbour pairs is chunked across the exec's worker pool;
+// each chunk reduces locally and the chunk results fold in index order.
+func optimalSinglePointPrefix(pre *regression.Prefix, ex exec) (SinglePointResult, error) {
 	ks := pre.Set()
 	res := SinglePointResult{CleanLoss: pre.CleanLoss(), PoisonedLoss: -1}
-	for i := 0; i+1 < ks.Len(); i++ {
-		lo, hi := ks.At(i)+1, ks.At(i+1)-1
-		if lo > hi {
-			continue // no gap between these neighbours
-		}
-		pos := i + 1 // keys strictly smaller than any key in this gap
-		if l := pre.PoisonedLoss(lo, pos); l > res.PoisonedLoss {
-			res.Key, res.Rank, res.PoisonedLoss = lo, pos+1, l
-		}
-		res.Candidates++
-		if hi != lo {
-			if l := pre.PoisonedLoss(hi, pos); l > res.PoisonedLoss {
-				res.Key, res.Rank, res.PoisonedLoss = hi, pos+1, l
-			}
-			res.Candidates++
-		}
+	grain := engine.GrainFor(ks.Len()-1, ex.pool)
+	if grain < endpointGrainFloor {
+		grain = endpointGrainFloor
 	}
+	chunks, err := engine.MapChunks(ex.ctx, ex.pool, ks.Len()-1, grain,
+		func(clo, chi int) (candidateBest, error) {
+			b := candidateBest{loss: -1}
+			for i := clo; i < chi; i++ {
+				lo, hi := ks.At(i)+1, ks.At(i+1)-1
+				if lo > hi {
+					continue // no gap between these neighbours
+				}
+				pos := i + 1 // keys strictly smaller than any key in this gap
+				if l := pre.PoisonedLoss(lo, pos); l > b.loss {
+					b.key, b.rank, b.loss = lo, pos+1, l
+				}
+				b.candidates++
+				if hi != lo {
+					if l := pre.PoisonedLoss(hi, pos); l > b.loss {
+						b.key, b.rank, b.loss = hi, pos+1, l
+					}
+					b.candidates++
+				}
+			}
+			return b, nil
+		})
+	if err != nil {
+		return SinglePointResult{}, err
+	}
+	foldBest(chunks, &res)
 	if res.PoisonedLoss < 0 {
 		return SinglePointResult{}, ErrNoGap
 	}
@@ -110,7 +155,7 @@ func optimalSinglePointPrefix(pre *regression.Prefix) (SinglePointResult, error)
 // O(m + n) rather than the naive O(m·n), but it still touches the whole key
 // domain; it exists as the correctness oracle for OptimalSinglePoint and as
 // the measured baseline of the endpoint-enumeration ablation.
-func BruteForceSinglePoint(ks keys.Set) (SinglePointResult, error) {
+func BruteForceSinglePoint(ks keys.Set, opts ...Option) (SinglePointResult, error) {
 	if ks.Len() < 2 {
 		return SinglePointResult{}, ErrTooFew
 	}
@@ -118,16 +163,28 @@ func BruteForceSinglePoint(ks keys.Set) (SinglePointResult, error) {
 	if err != nil {
 		return SinglePointResult{}, err
 	}
+	ex := newExec(opts)
 	res := SinglePointResult{CleanLoss: pre.CleanLoss(), PoisonedLoss: -1}
-	for i := 0; i+1 < ks.Len(); i++ {
-		pos := i + 1
-		for k := ks.At(i) + 1; k < ks.At(i+1); k++ {
-			if l := pre.PoisonedLoss(k, pos); l > res.PoisonedLoss {
-				res.Key, res.Rank, res.PoisonedLoss = k, pos+1, l
+	// Chunk over neighbour pairs; per-pair cost is the gap width, so chunks
+	// stay small (GrainFor) to let the pool balance wide gaps dynamically.
+	chunks, err := engine.MapChunks(ex.ctx, ex.pool, ks.Len()-1, engine.GrainFor(ks.Len()-1, ex.pool),
+		func(clo, chi int) (candidateBest, error) {
+			b := candidateBest{loss: -1}
+			for i := clo; i < chi; i++ {
+				pos := i + 1
+				for k := ks.At(i) + 1; k < ks.At(i+1); k++ {
+					if l := pre.PoisonedLoss(k, pos); l > b.loss {
+						b.key, b.rank, b.loss = k, pos+1, l
+					}
+					b.candidates++
+				}
 			}
-			res.Candidates++
-		}
+			return b, nil
+		})
+	if err != nil {
+		return SinglePointResult{}, err
 	}
+	foldBest(chunks, &res)
 	if res.PoisonedLoss < 0 {
 		return SinglePointResult{}, ErrNoGap
 	}
@@ -168,7 +225,11 @@ func (g GreedyResult) RatioLoss() float64 { return SafeRatio(g.FinalLoss(), g.Cl
 // set. Runs in O(p·n). If the key domain saturates early the result is
 // truncated rather than failing: the attacker simply has nowhere left to
 // inject, which the RMI volume allocator must be able to observe.
-func GreedyMultiPoint(ks keys.Set, p int) (GreedyResult, error) {
+//
+// The per-step candidate scan parallelizes across WithWorkers(n) workers;
+// the chosen keys, trajectory, and all losses are identical for every
+// worker count (index-ordered reduction — see internal/engine).
+func GreedyMultiPoint(ks keys.Set, p int, opts ...Option) (GreedyResult, error) {
 	if p < 0 {
 		return GreedyResult{}, fmt.Errorf("core: negative poison budget %d", p)
 	}
@@ -179,13 +240,14 @@ func GreedyMultiPoint(ks keys.Set, p int) (GreedyResult, error) {
 	if err != nil {
 		return GreedyResult{}, err
 	}
+	ex := newExec(opts)
 	res := GreedyResult{
 		CleanLoss: pre.CleanLoss(),
 		Poisoned:  ks,
 	}
 	current := res.CleanLoss
 	for j := 0; j < p; j++ {
-		step, err := optimalSinglePointPrefix(pre)
+		step, err := optimalSinglePointPrefix(pre, ex)
 		if errors.Is(err, ErrNoGap) {
 			res.Truncated = true
 			break

@@ -1,0 +1,191 @@
+// Package engine is the repository's parallel execution substrate: a
+// bounded worker pool with DETERMINISTIC, index-ordered results.
+//
+// Every sweep in this codebase — per-gap candidate evaluation inside the
+// greedy attack, per-segment second-stage attacks of Algorithm 2, and the
+// per-cell figure sweeps of internal/bench — is a pure function of its task
+// index. The engine exploits that: tasks are distributed to workers by an
+// atomic cursor (so load balances dynamically), but results land in a slice
+// indexed by task, and callers reduce that slice in index order. The output
+// is therefore byte-identical to a sequential run for any worker count,
+// which the equivalence tests in core and bench enforce.
+//
+// Determinism contract:
+//
+//  1. Task functions must be pure with respect to the task index (no
+//     dependence on execution order or shared mutable state beyond
+//     memoization of deterministic values).
+//  2. Map/MapChunks return results in task-index order, never completion
+//     order.
+//  3. Callers must fold results in index order (floating-point reductions
+//     are order-sensitive).
+//
+// Under this contract, workers=1 and workers=NumCPU produce identical
+// bytes, so parallelism is a pure performance knob.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of concurrent workers used by Map and MapChunks.
+// The zero-value / nil Pool is sequential.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker bound. workers <= 0 selects
+// runtime.GOMAXPROCS(0) — "use every core". workers == 1 is strictly
+// sequential: task functions run inline on the calling goroutine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Sequential reports whether the pool runs tasks inline.
+func (p *Pool) Sequential() bool { return p.Workers() == 1 }
+
+// ctxErr is a non-blocking cancellation check.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool and returns the results
+// in index order. With a sequential pool, tasks run inline in increasing
+// index order — exactly the historical single-threaded loops this package
+// replaces. With a parallel pool, tasks are claimed from an atomic cursor.
+//
+// The first error (by task index, matching what a sequential run would have
+// reported) aborts the map; remaining tasks are skipped once it is observed.
+// Context cancellation aborts between tasks with ctx.Err().
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctxErr(ctx)
+	}
+	out := make([]T, n)
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		cursor int64 = -1 // next task = atomic add
+		stop   int32      // set once a worker sees an error/cancellation
+		mu     sync.Mutex
+		errIdx = n // lowest failing task index seen so far
+		first  error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+		atomic.StoreInt32(&stop, 1)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if atomic.LoadInt32(&stop) != 0 {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					record(-1, err) // cancellation outranks any task error
+					return
+				}
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					record(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// MapChunks partitions [0, n) into contiguous chunks of at most grain
+// indices and runs fn(lo, hi) per chunk, returning per-chunk results in
+// chunk order. It is the batching form of Map for very cheap per-index
+// work (e.g. the O(1) candidate evaluations of the single-point attack),
+// where per-task scheduling overhead would dominate.
+//
+// Chunk boundaries never affect results under the package's determinism
+// contract: callers scan [lo, hi) in increasing order and reduce chunk
+// results in chunk order, which composes to the full sequential scan.
+func MapChunks[T any](ctx context.Context, p *Pool, n, grain int, fn func(lo, hi int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctxErr(ctx)
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	return Map(ctx, p, chunks, func(c int) (T, error) {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
+// GrainFor returns a chunk size that splits n indices into roughly 16
+// chunks per worker — enough slack for dynamic load balancing when per-index
+// cost varies (gap widths differ wildly) without drowning cheap loops in
+// scheduling overhead. Callers with very cheap per-index work should clamp
+// the result up to a floor of their choosing.
+func GrainFor(n int, p *Pool) int {
+	g := n / (16 * p.Workers())
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -1,0 +1,98 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadText: any input either fails to parse or canonicalizes into a set
+// whose text serialization round-trips exactly. Sets that fit the binary
+// format's domain (non-negative keys) must round-trip through it too.
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("1\n2\n3\n"))
+	f.Add([]byte("# comment\n\n42\n7\n42\n"))
+	f.Add([]byte("  17 \n0\n9223372036854775807\n"))
+	f.Add([]byte("-5\n0\n12\n"))
+	f.Add([]byte("1e9\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.At(i) <= s.At(i-1) {
+				t.Fatalf("ReadText produced unsorted/duplicate keys: %v", s)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		s2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("text round-trip parse: %v", err)
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("text round-trip changed the set: %v != %v", s, s2)
+		}
+		// The binary format delta-encodes from 0, so it only represents
+		// non-negative keys; text accepts negatives, so gate the cross-check.
+		if s.Len() == 0 || s.Min() >= 0 {
+			buf.Reset()
+			if err := s.WriteBinary(&buf); err != nil {
+				t.Fatalf("WriteBinary: %v", err)
+			}
+			s3, err := ReadBinary(&buf)
+			if err != nil {
+				t.Fatalf("binary round-trip parse: %v", err)
+			}
+			if !s.Equal(s3) {
+				t.Fatalf("binary round-trip changed the set: %v != %v", s, s3)
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes either fail to parse or yield a strictly
+// increasing set that re-serializes and re-parses to itself.
+func FuzzReadBinary(f *testing.F) {
+	seed := func(ks []int64) []byte {
+		s, err := NewStrict(ks)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed([]int64{0, 1, 2}))
+	f.Add(seed([]int64{5, 900, 1 << 40}))
+	f.Add(seed([]int64{}))
+	f.Add([]byte("CDFKEYS1"))                                 // magic only, truncated header
+	f.Add([]byte("CDFKEYS1\xff\xff\xff\xff\xff\xff\xff\xff")) // hostile count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.At(i) <= s.At(i-1) {
+				t.Fatalf("ReadBinary produced unsorted/duplicate keys: %v", s)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteBinary(&buf); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		s2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("round-trip changed the set: %v != %v", s, s2)
+		}
+	})
+}

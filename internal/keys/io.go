@@ -56,7 +56,14 @@ func ReadBinary(r io.Reader) (Set, error) {
 	if n > maxReasonable {
 		return Set{}, fmt.Errorf("keys: implausible key count %d", n)
 	}
-	ks := make([]int64, 0, n)
+	// Cap the preallocation independently of the declared count: a hostile
+	// header can claim 2^33 keys backed by no data, and the varint loop
+	// below will error out long before append ever grows that far.
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	ks := make([]int64, 0, capHint)
 	prev := int64(0)
 	for i := uint64(0); i < n; i++ {
 		d, err := binary.ReadUvarint(br)

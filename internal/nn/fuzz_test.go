@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary: arbitrary bytes either fail to parse or yield a network
+// whose serialization is a fixed point — write(read(write(m))) must equal
+// write(m) byte for byte. Comparing serialized bytes (not predictions)
+// keeps the check exact even for NaN/Inf parameters smuggled in by the
+// fuzzer, since float bit patterns pass through Float64bits unchanged.
+func FuzzReadBinary(f *testing.F) {
+	seed := func(hidden int) []byte {
+		x := []float64{0, 100, 200, 300, 400, 500, 600, 700}
+		y := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		m, err := Train(x, y, Config{Hidden: hidden, Epochs: 4})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(4))
+	f.Add(seed(16))
+	f.Add([]byte("CDFMLP01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := m.WriteBinary(&b1); err != nil {
+			t.Fatalf("WriteBinary after successful read: %v", err)
+		}
+		m2, err := ReadBinary(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := m2.WriteBinary(&b2); err != nil {
+			t.Fatalf("second WriteBinary: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("serialization is not a fixed point across a round-trip")
+		}
+	})
+}
+
+// FuzzTrainRoundTrip trains a tiny network on fuzz-derived data and checks
+// the serialized copy predicts identically everywhere it is probed.
+func FuzzTrainRoundTrip(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40}, uint8(4))
+	f.Add([]byte{1, 1, 1}, uint8(1))
+	f.Fuzz(func(t *testing.T, deltas []byte, hiddenByte uint8) {
+		if len(deltas) == 0 || len(deltas) > 256 {
+			return
+		}
+		hidden := int(hiddenByte%8) + 1
+		var x, y []float64
+		cur := 0.0
+		for i, d := range deltas {
+			cur += float64(d) + 1
+			x = append(x, cur)
+			y = append(y, float64(i+1))
+		}
+		m, err := Train(x, y, Config{Hidden: hidden, Epochs: 2})
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		m2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		for _, k := range x {
+			if got, want := m2.Predict(k), m.Predict(k); got != want {
+				t.Fatalf("Predict(%v) diverged after round-trip: %v != %v", k, got, want)
+			}
+		}
+	})
+}

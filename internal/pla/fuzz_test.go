@@ -1,0 +1,142 @@
+package pla
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cdfpoison/internal/keys"
+)
+
+// FuzzReadBinary: arbitrary bytes either fail to parse or produce an index
+// that re-serializes and re-parses to an identical structure.
+func FuzzReadBinary(f *testing.F) {
+	seed := func(ks []int64, eps int) []byte {
+		s, err := keys.NewStrict(ks)
+		if err != nil {
+			f.Fatal(err)
+		}
+		idx, err := Build(s, eps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := idx.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed([]int64{1, 5, 9, 20, 21, 22, 400, 401}, 2))
+	f.Add(seed([]int64{0, 1000, 2000, 3000}, 16))
+	f.Add([]byte("CDFPLA01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := idx.WriteBinary(&buf); err != nil {
+			t.Fatalf("WriteBinary after successful read: %v", err)
+		}
+		idx2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		if idx.epsilon != idx2.epsilon || !idx.ks.Equal(idx2.ks) || len(idx.segs) != len(idx2.segs) {
+			t.Fatal("round-trip changed the index shape")
+		}
+		for i := range idx.segs {
+			a, b := idx.segs[i], idx2.segs[i]
+			// Compare the slope by bit pattern: the format must preserve
+			// bits exactly, and a fuzzed NaN slope would fail != forever.
+			if a.startKey != b.startKey || a.endKey != b.endKey || a.startPos != b.startPos ||
+				math.Float64bits(a.slope) != math.Float64bits(b.slope) {
+				t.Fatalf("round-trip changed segment %d: %+v != %+v", i, a, b)
+			}
+		}
+		// Drive queries through the hostile index: segments parsed from
+		// arbitrary bytes may route predictions anywhere (NaN slopes,
+		// huge extrapolations), but lookups must never panic, and the
+		// galloping lower bound must still agree with the key set.
+		n := idx.ks.Len()
+		probes := []int64{0, 1 << 40, -1}
+		for i := 0; i < n && i < 8; i++ {
+			k := idx.ks.At(i)
+			probes = append(probes, k, k-1, k+1)
+		}
+		if n > 0 {
+			probes = append(probes, idx.ks.Min()-1, idx.ks.Max()+1)
+		}
+		for _, k := range probes {
+			idx.Lookup(k)
+			if got, want := idx.lowerBound(k), idx.ks.CountLess(k); got != want {
+				t.Fatalf("lowerBound(%d) = %d, want %d", k, got, want)
+			}
+		}
+	})
+}
+
+// TestReadBinaryRejectsZeroSegments pins the hostile-file validation: zero
+// segments over a non-empty key set used to parse successfully and then
+// panic on the first lowerBound query.
+func TestReadBinaryRejectsZeroSegments(t *testing.T) {
+	s, err := keys.NewStrict([]int64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hostile bytes.Buffer
+	hostile.WriteString("CDFPLA01")
+	var hdr [16]byte
+	hdr[0] = 1 // epsilon=1, numSegs=0
+	hostile.Write(hdr[:])
+	if err := s.WriteBinary(&hostile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(hostile.Bytes())); err == nil {
+		t.Fatal("hostile zero-segment file parsed successfully")
+	}
+}
+
+// FuzzBuildRoundTrip derives a key set and epsilon from raw fuzz bytes,
+// builds a real index, and asserts the serialized copy answers every
+// membership query identically — the IO round-trip on live structures.
+func FuzzBuildRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 200, 1, 1}, uint8(2))
+	f.Add([]byte{255, 0, 9}, uint8(1))
+	f.Add([]byte{7}, uint8(64))
+	f.Fuzz(func(t *testing.T, deltas []byte, epsByte uint8) {
+		if len(deltas) == 0 || len(deltas) > 4096 {
+			return
+		}
+		eps := int(epsByte%128) + 1
+		ks := make([]int64, 0, len(deltas))
+		cur := int64(0)
+		for _, d := range deltas {
+			cur += int64(d) + 1 // strictly increasing
+			ks = append(ks, cur)
+		}
+		s, err := keys.NewStrict(ks)
+		if err != nil {
+			t.Fatalf("derived keys invalid: %v", err)
+		}
+		idx, err := Build(s, eps)
+		if err != nil {
+			t.Fatalf("Build(n=%d, eps=%d): %v", s.Len(), eps, err)
+		}
+		var buf bytes.Buffer
+		if err := idx.WriteBinary(&buf); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		idx2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		for i := 0; i < s.Len(); i++ {
+			k := s.At(i)
+			a, b := idx.Lookup(k), idx2.Lookup(k)
+			if a != b {
+				t.Fatalf("lookup(%d) diverged after round-trip: %+v != %+v", k, a, b)
+			}
+		}
+	})
+}

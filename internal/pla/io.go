@@ -79,7 +79,20 @@ func ReadBinary(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pla: read keys: %w", err)
 	}
-	idx := &Index{ks: ks, epsilon: epsilon, segs: make([]segment, numSegs)}
+	// Build always emits at least one segment for a non-empty key set; a
+	// file claiming zero segments over stored keys is corrupt and would
+	// leave lookups with no routing model.
+	if numSegs == 0 && ks.Len() > 0 {
+		return nil, fmt.Errorf("pla: zero segments for %d keys", ks.Len())
+	}
+	// Grow the segment slice as data actually arrives rather than trusting
+	// the declared count: a hostile header can claim 2^30 segments backed
+	// by nothing, and ReadFull errors out at the first missing byte.
+	capHint := numSegs
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	idx := &Index{ks: ks, epsilon: epsilon, segs: make([]segment, 0, capHint)}
 	var buf [8]byte
 	get := func() (uint64, error) {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -87,8 +100,8 @@ func ReadBinary(r io.Reader) (*Index, error) {
 		}
 		return binary.LittleEndian.Uint64(buf[:]), nil
 	}
-	for i := range idx.segs {
-		s := &idx.segs[i]
+	for i := 0; i < numSegs; i++ {
+		var s segment
 		var v uint64
 		if v, err = get(); err == nil {
 			s.startKey = int64(v)
@@ -105,6 +118,7 @@ func ReadBinary(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pla: read segment %d: %w", i, err)
 		}
+		idx.segs = append(idx.segs, s)
 	}
 	return idx, nil
 }

@@ -218,6 +218,18 @@ func (idx *Index) lowerBound(k int64) int {
 	}
 	s := idx.segs[si]
 	pred := float64(s.startPos) + s.slope*float64(k-s.startKey)
+	// Clamp the prediction BEFORE the float→int conversion: k need not be
+	// a stored key here, so the epsilon guarantee does not apply and the
+	// extrapolated prediction can be arbitrarily large (found by
+	// TestLowerBoundQuick), NaN, or past int64 range — where the Go
+	// conversion is implementation-defined and would poison the window
+	// arithmetic below. The galloping loops recover correctness from any
+	// in-range starting window.
+	if math.IsNaN(pred) || pred < 0 {
+		pred = 0
+	} else if pred > float64(n-1) {
+		pred = float64(n - 1)
+	}
 	from := int(math.Floor(pred)) - idx.epsilon
 	to := int(math.Ceil(pred)) + idx.epsilon
 	if from < 0 {

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/keys"
 	"cdfpoison/internal/xrand"
 )
 
@@ -91,5 +92,31 @@ func TestLowerBoundQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLowerBoundPredictionOvershoot pins the clamp fix for absent keys in a
+// wide inter-segment gap: the routing segment's slope extrapolates the
+// prediction far past the end of the array (k=500 against a 20-key set),
+// which used to index out of range. Deterministic twin of the time-seeded
+// TestLowerBoundQuick that caught it.
+func TestLowerBoundPredictionOvershoot(t *testing.T) {
+	var raw []int64
+	for i := int64(0); i < 10; i++ {
+		raw = append(raw, i)          // dense run: slope ~1 key/rank
+		raw = append(raw, 100000+i*3) // far-away second cluster
+	}
+	ks, err := keys.NewStrict(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{500, 50_000, 99_999, 5, 100_001} {
+		if got, want := idx.lowerBound(k), ks.CountLess(k); got != want {
+			t.Fatalf("lowerBound(%d) = %d, want %d", k, got, want)
+		}
 	}
 }
