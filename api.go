@@ -9,6 +9,7 @@ import (
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/dataset"
 	"cdfpoison/internal/defense"
+	"cdfpoison/internal/dynamic"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/nn"
 	"cdfpoison/internal/pla"
@@ -199,6 +200,74 @@ type ModificationResult = core.ModificationResult
 // capability the paper's Section VI anticipates.
 func GreedyModification(ks KeySet, p int) (ModificationResult, error) {
 	return core.GreedyModification(ks, p)
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic indexes and online poisoning
+// ---------------------------------------------------------------------------
+
+// DynamicIndex is an updatable learned index: a CDF model over a base key
+// set plus a sorted delta buffer, merged and retrained per its policy. It
+// is the victim of the online poisoning scenario.
+type DynamicIndex = dynamic.Index
+
+// RetrainPolicy selects when a DynamicIndex merges its delta buffer and
+// refits its model.
+type RetrainPolicy = dynamic.RetrainPolicy
+
+// DynamicLookupResult reports a point query against a DynamicIndex.
+type DynamicLookupResult = dynamic.LookupResult
+
+// DynamicStats summarizes a DynamicIndex's state.
+type DynamicStats = dynamic.Stats
+
+// RetrainManually retrains only on explicit Retrain() calls (in the online
+// scenario: one forced retrain at the end of every epoch).
+func RetrainManually() RetrainPolicy { return dynamic.ManualPolicy() }
+
+// RetrainEvery retrains after every k-th insert call — a write-count
+// maintenance schedule the adversary's own writes tick forward.
+func RetrainEvery(k int) RetrainPolicy { return dynamic.EveryKInserts(k) }
+
+// RetrainAtBufferSize retrains once the delta buffer holds k accepted keys
+// — the bounded-buffer merge policy of dynamic learned indexes.
+func RetrainAtBufferSize(k int) RetrainPolicy { return dynamic.BufferLimit(k) }
+
+// NewDynamicIndex builds an updatable learned index over the initial keys
+// (>= 2) and trains the first model.
+func NewDynamicIndex(ks KeySet, policy RetrainPolicy) (*DynamicIndex, error) {
+	return dynamic.New(ks, policy)
+}
+
+// OnlineOptions parameterizes OnlinePoisonAttack.
+type OnlineOptions = core.OnlineOptions
+
+// OnlineResult reports the online poisoning scenario, one EpochReport per
+// retrain cycle.
+type OnlineResult = core.OnlineResult
+
+// EpochReport is one epoch's end-state: injected keys, retrains, loss ratio
+// against the clean counterfactual, and lookup probe costs.
+type EpochReport = core.EpochReport
+
+// OnlineOracle selects the attacker's per-epoch poisoning oracle.
+type OnlineOracle = core.OnlineOracle
+
+// Per-epoch oracles: Algorithm 1 against the full visible content, or
+// Algorithm 2 against the partitioning a future RMI rebuild would use.
+const (
+	OracleRegression = core.OracleRegression
+	OracleRMI        = core.OracleRMI
+)
+
+// OnlinePoisonAttack mounts the dynamic-index poisoning scenario: an
+// adversary with a per-epoch key budget injects poison into an updatable
+// learned index between retrains, interleaved with an honest insert stream,
+// and the damage is tracked per epoch against a clean counterfactual index
+// running the same retrain policy. WithParallelism fans out the per-epoch
+// oracle scans and probe evaluation without changing any result byte.
+func OnlinePoisonAttack(initial KeySet, opts OnlineOptions, execOpts ...AttackOption) (OnlineResult, error) {
+	return core.OnlinePoisonAttack(initial, opts, execOpts...)
 }
 
 // PredictionOracle is query access to a deployed index's raw position

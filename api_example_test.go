@@ -1,0 +1,119 @@
+package cdfpoison_test
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"cdfpoison"
+)
+
+// The doc.go quick start, compiled: fit the index's regression, mount the
+// greedy attack, report the error amplification.
+func Example() {
+	ks, err := cdfpoison.NewKeySet([]int64{2, 3, 8, 30, 31, 32, 80, 91, 99, 102})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cdfpoison.FitCDF(ks) // the index's regression
+	if err != nil {
+		log.Fatal(err)
+	}
+	atk, err := cdfpoison.GreedyMultiPoint(ks, 2) // 2 optimal poison keys
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean mse %.2f\n", model.Loss)
+	fmt.Printf("poison keys %v\n", atk.Poison)
+	fmt.Printf("ratio loss %.2f\n", atk.RatioLoss())
+	// Output:
+	// clean mse 0.63
+	// poison keys [7 6]
+	// ratio loss 2.26
+}
+
+// Attacking a full two-stage RMI (Algorithm 2): greedy volume allocation
+// across second-stage models under a per-model threshold.
+func ExampleRMIAttack() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 40_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cdfpoison.RMIAttack(ks, cdfpoison.RMIAttackOptions{
+		NumModels: 10, Percent: 10, Alpha: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d/%d keys across %d models\n",
+		res.Injected, res.Budget, len(res.Models))
+	fmt.Printf("RMI ratio %.1f\n", res.RMIRatio())
+	// Output:
+	// injected 100/100 keys across 10 models
+	// RMI ratio 5.6
+}
+
+// Building and querying the index substrate: every stored key is found, and
+// the probe count is the implementation-independent lookup cost.
+func ExampleBuildRMI() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 40_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := idx.Lookup(ks.At(500))
+	fmt.Printf("found=%v pos=%d\n", r.Found, r.Pos)
+	// Output:
+	// found=true pos=500
+}
+
+// Attacking an updatable index online: a per-epoch budget drip-fed between
+// retrain cycles of a delta-buffer index.
+func ExampleOnlinePoisonAttack() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 40_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cdfpoison.OnlinePoisonAttack(ks, cdfpoison.OnlineOptions{
+		Epochs:      4,
+		EpochBudget: 25,
+		Policy:      cdfpoison.RetrainAtBufferSize(50),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	fmt.Printf("epochs %d, poison keys %d, retrains %d\n",
+		len(res.Epochs), res.Poison.Len(), res.Retrains)
+	fmt.Printf("probe cost %.2f -> %.2f\n", last.CleanProbes, last.PoisonedProbes)
+	// Output:
+	// epochs 4, poison keys 100, retrains 2
+	// probe cost 4.04 -> 5.97
+}
+
+// Parallelism is a pure performance knob: any worker count produces output
+// byte-identical to the sequential run (the determinism contract).
+func ExampleWithParallelism() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 2000, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := cdfpoison.GreedyMultiPoint(ks, 20, cdfpoison.WithParallelism(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := cdfpoison.GreedyMultiPoint(ks, 20, cdfpoison.WithParallelism(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("identical:", reflect.DeepEqual(seq, par))
+	// Output:
+	// identical: true
+}

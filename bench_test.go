@@ -153,6 +153,21 @@ func BenchmarkExtTrimDefense(b *testing.B) {
 	b.ReportMetric(recall, "recall")
 }
 
+// BenchmarkOnlineSweep regenerates the dynamic-index online poisoning sweep
+// (lisbench -fig online): loss ratio and probe cost vs. epoch across
+// retrain policies and per-epoch budgets.
+func BenchmarkOnlineSweep(b *testing.B) {
+	var maxFinal float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.OnlineSweep(quickOpts(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxFinal = res.MaxFinalRatio()
+	}
+	b.ReportMetric(maxFinal, "max-final-ratio")
+}
+
 // BenchmarkAblationEndpointsVsBrute times the Theorem 2 endpoint enumeration
 // against the full-domain sweep on identical data (Ablation 1).
 func BenchmarkAblationEndpointsVsBrute(b *testing.B) {

@@ -1,12 +1,14 @@
 // Command lisbench regenerates every figure of the paper's evaluation
-// (Figures 2–8) plus the repository's extensions and ablations, printing
-// ASCII tables/plots to stdout and optionally writing CSV files.
+// (Figures 2–8) plus the repository's extensions, ablations, and the
+// dynamic-index online poisoning sweep, printing ASCII tables/plots to
+// stdout and optionally writing CSV files.
 //
 // Usage:
 //
 //	lisbench -fig all                 # everything at default scale
 //	lisbench -fig 5 -scale quick      # one figure, test-sized
 //	lisbench -fig 6 -scale large -out results/
+//	lisbench -fig online -out results/   # online scenario: ratio/probes vs epoch
 //
 // Scales: quick (seconds), default (minutes), large (tens of minutes on one
 // core). See DESIGN.md §3 ("Scaling policy") for what each preserves.
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|all")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
@@ -56,8 +58,9 @@ func main() {
 		"8":        runFig8,
 		"ext":      runExtensions,
 		"ablation": runAblations,
+		"online":   runOnline,
 	}
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation"}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online"}
 
 	var selected []string
 	if *fig == "all" {
@@ -66,7 +69,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 2..8, ext, ablation, all)", f)
+				fatalf("unknown figure %q (want 2..8, ext, ablation, online, all)", f)
 			}
 			selected = append(selected, f)
 		}
@@ -86,6 +89,8 @@ func name(f string) string {
 		return "extensions"
 	case "ablation":
 		return "ablations"
+	case "online":
+		return "online scenario"
 	default:
 		return "figure " + f
 	}
@@ -448,6 +453,45 @@ func runAblations(opts bench.Options, out string) error {
 	}
 	tb.Render(os.Stdout)
 	return writeCSV(out, "ablation-alpha.csv", tb)
+}
+
+func runOnline(opts bench.Options, out string) error {
+	fmt.Println("=== Online scenario: poisoning an updatable index across retrain cycles ===")
+	res, err := bench.OnlineSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n = %d initial keys, %d epochs per cell, %.0f%% honest arrivals per epoch\n",
+		res.Keys, res.EpochsPerCell, res.ArrivalsPct)
+	tb := export.NewTable("policy", "budget_pct", "epoch", "injected", "poison_total",
+		"retrains", "buffer", "displaced", "clean_loss", "poisoned_loss", "ratio",
+		"clean_probes", "poisoned_probes")
+	for _, c := range res.Cells {
+		for _, e := range c.Epochs {
+			tb.AddRow(c.Policy.String(), export.F(c.BudgetPct), fmt.Sprint(e.Epoch),
+				fmt.Sprint(e.Injected), fmt.Sprint(e.PoisonTotal), fmt.Sprint(e.Retrains),
+				fmt.Sprint(e.BufferLen), fmt.Sprint(e.Displaced), export.F(e.CleanLoss),
+				export.F(e.PoisonedLoss), export.F(e.RatioLoss),
+				export.F(e.CleanProbes), export.F(e.PoisonedProbes))
+		}
+	}
+	tb.Render(os.Stdout)
+	// Ratio-vs-epoch chart for the highest-budget cell of each policy.
+	var series []export.Series
+	for _, c := range res.Cells {
+		if c.BudgetPct != res.Cells[len(res.Cells)-1].BudgetPct {
+			continue
+		}
+		var xs, ys []float64
+		for _, e := range c.Epochs {
+			xs = append(xs, float64(e.Epoch))
+			ys = append(ys, e.RatioLoss)
+		}
+		series = append(series, export.Series{Name: c.Policy.String(), X: xs, Y: ys})
+	}
+	export.RenderChart(os.Stdout, "Loss ratio vs epoch (highest budget)", series, 64, 12)
+	fmt.Printf("max final ratio: %.1f×\n", res.MaxFinalRatio())
+	return writeCSV(out, "online.csv", tb)
 }
 
 func max64(a, b int64) int64 {

@@ -68,6 +68,36 @@ func TestRunExtensions(t *testing.T) {
 		"ext-adversaries.csv", "ext-pla.csv", "ext-quad.csv")
 }
 
+func TestRunOnline(t *testing.T) {
+	runAndCheckCSV(t, "online", runOnline, "online.csv")
+}
+
+// TestOnlineCSVRowCount: the online CSV carries exactly one row per
+// (epoch × budget × policy) cell, plus the header.
+func TestOnlineCSVRowCount(t *testing.T) {
+	dir := t.TempDir()
+	if err := silently(t, func() error { return runOnline(quickOpts(), dir) }); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(filepath.Join(dir, "online.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bench.OnlineSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(res.Cells)*res.EpochsPerCell
+	if len(rows) != want {
+		t.Fatalf("online.csv has %d rows, want %d (header + cells×epochs)", len(rows), want)
+	}
+}
+
 func TestRunAblations(t *testing.T) {
 	runAndCheckCSV(t, "ablation", runAblations,
 		"ablation-endpoints.csv", "ablation-volume.csv", "ablation-alpha.csv")

@@ -7,8 +7,15 @@
 //	lispoison gen    -dist uniform -n 10000 -domain 1000000 -o keys.txt
 //	lispoison attack -in keys.txt -percent 10 -o poison.txt            # regression attack
 //	lispoison attack -in keys.txt -percent 10 -modelsize 100 -o p.txt  # RMI attack
+//	lispoison online -in keys.txt -epochs 8 -percent 2 -policy buffer:256 -o p.txt
 //	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
 //	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
+//
+// The online subcommand mounts the dynamic-index scenario: the attacker
+// injects -percent (of the input keys) poison keys PER EPOCH into an
+// updatable index running the given retrain -policy (manual | every:K |
+// buffer:K), optionally interleaved with -arrivals honest inserts per
+// epoch, and prints the per-epoch damage trajectory.
 //
 // Every command is deterministic given -seed.
 package main
@@ -17,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"cdfpoison"
 )
@@ -31,6 +40,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "attack":
 		err = cmdAttack(os.Args[2:])
+	case "online":
+		err = cmdOnline(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "defend":
@@ -48,10 +59,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|eval|defend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|eval|defend> [flags]
 
   gen     generate a key dataset (uniform|normal|lognormal|salaries|osm)
   attack  poison a key file (linear regression on CDF, or two-stage RMI)
+  online  drip-feed poison into an updatable index across retrain cycles
   eval    measure ratio loss of a poisoned file against the clean file
   defend  run the TRIM defense on a poisoned file
 
@@ -207,6 +219,110 @@ func cmdAttack(args []string) error {
 			return fmt.Errorf("attack: %w", err)
 		}
 		fmt.Printf("wrote %d poisoned keys to %s\n", poisoned.Len(), *outAll)
+	}
+	return nil
+}
+
+// parsePolicy turns "manual", "every:K", or "buffer:K" into a RetrainPolicy.
+func parsePolicy(s string) (cdfpoison.RetrainPolicy, error) {
+	switch {
+	case s == "manual":
+		return cdfpoison.RetrainManually(), nil
+	case strings.HasPrefix(s, "every:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "every:"))
+		if err != nil || k < 1 {
+			return cdfpoison.RetrainPolicy{}, fmt.Errorf("policy %q: want every:K with K >= 1", s)
+		}
+		return cdfpoison.RetrainEvery(k), nil
+	case strings.HasPrefix(s, "buffer:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "buffer:"))
+		if err != nil || k < 1 {
+			return cdfpoison.RetrainPolicy{}, fmt.Errorf("policy %q: want buffer:K with K >= 1", s)
+		}
+		return cdfpoison.RetrainAtBufferSize(k), nil
+	default:
+		return cdfpoison.RetrainPolicy{}, fmt.Errorf("unknown policy %q (want manual | every:K | buffer:K)", s)
+	}
+}
+
+func cmdOnline(args []string) error {
+	fs := flag.NewFlagSet("online", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	epochs := fs.Int("epochs", 8, "number of attack epochs (retrain cycles)")
+	percent := fs.Float64("percent", 2, "per-EPOCH poisoning percentage of the input keys")
+	policyStr := fs.String("policy", "manual", "retrain policy: manual | every:K | buffer:K")
+	arrivals := fs.Int("arrivals", 0, "honest inserts per epoch, drawn uniformly over the key range")
+	oracle := fs.String("oracle", "regression", "per-epoch attack oracle: regression | rmi")
+	models := fs.Int("models", 0, "RMI fanout N (rmi oracle)")
+	alpha := fs.Float64("alpha", 3, "per-model poisoning threshold multiplier (rmi oracle)")
+	seed := fs.Uint64("seed", 42, "rng seed for the arrival stream")
+	workers := fs.Int("workers", 0, "worker pool size: 0 = one per core, 1 = sequential; results are identical for any value")
+	out := fs.String("o", "", "optional output file for the injected poison keys")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("online: -in is required")
+	}
+	if *epochs < 1 {
+		return fmt.Errorf("online: -epochs must be >= 1, got %d", *epochs)
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("online: %w", err)
+	}
+	policy, err := parsePolicy(*policyStr)
+	if err != nil {
+		return fmt.Errorf("online: %w", err)
+	}
+	opts := cdfpoison.OnlineOptions{
+		Epochs:      *epochs,
+		EpochBudget: int(float64(ks.Len()) * *percent / 100),
+		Policy:      policy,
+	}
+	switch *oracle {
+	case "regression":
+	case "rmi":
+		opts.Oracle = cdfpoison.OracleRMI
+		N := *models
+		if N == 0 {
+			N = ks.Len() / 100
+			if N < 1 {
+				N = 1
+			}
+		}
+		opts.RMI = cdfpoison.RMIAttackOptions{NumModels: N, Alpha: *alpha}
+	default:
+		return fmt.Errorf("online: unknown oracle %q (want regression | rmi)", *oracle)
+	}
+	if *arrivals > 0 {
+		rng := cdfpoison.NewRNG(*seed)
+		span := ks.Max() - ks.Min() + 1
+		opts.Arrivals = make([][]int64, *epochs)
+		for e := range opts.Arrivals {
+			for i := 0; i < *arrivals; i++ {
+				opts.Arrivals[e] = append(opts.Arrivals[e], ks.Min()+rng.Int63n(span))
+			}
+		}
+	}
+	res, err := cdfpoison.OnlinePoisonAttack(ks, opts, cdfpoison.WithParallelism(*workers))
+	if err != nil {
+		return fmt.Errorf("online: %w", err)
+	}
+	fmt.Printf("online attack: policy=%s, %d keys/epoch over %d epochs (%d honest arrivals/epoch)\n",
+		policy, opts.EpochBudget, *epochs, *arrivals)
+	fmt.Printf("%5s %9s %7s %9s %7s %10s %12s %12s\n",
+		"epoch", "injected", "buffer", "retrains", "ratio", "displaced", "clean_prob", "pois_prob")
+	for _, e := range res.Epochs {
+		fmt.Printf("%5d %9d %7d %9d %7.2f %10d %12.2f %12.2f\n",
+			e.Epoch, e.Injected, e.BufferLen, e.Retrains, e.RatioLoss,
+			e.Displaced, e.CleanProbes, e.PoisonedProbes)
+	}
+	fmt.Printf("final ratio %.2f× (max %.2f×), %d poison keys, %d retrains\n",
+		res.FinalRatio(), res.MaxRatio(), res.Poison.Len(), res.Retrains)
+	if *out != "" {
+		if err := writeKeys(*out, res.Poison); err != nil {
+			return fmt.Errorf("online: %w", err)
+		}
+		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
 	}
 	return nil
 }

@@ -146,6 +146,94 @@ func TestAttackRemovalMode(t *testing.T) {
 	}
 }
 
+func TestOnlineMode(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	poisonFile := tmpPath(t, "poison.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "400", "-domain", "16000", "-seed", "5", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdOnline([]string{"-in", keysFile, "-epochs", "3", "-percent", "5",
+		"-policy", "buffer:30", "-arrivals", "8", "-o", poisonFile}); err != nil {
+		t.Fatalf("online: %v", err)
+	}
+	poison, err := readKeys(poisonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% of 400 = 20 keys per epoch × 3 epochs.
+	if poison.Len() == 0 || poison.Len() > 60 {
+		t.Fatalf("poison count %d, want (0, 60]", poison.Len())
+	}
+	clean, _ := readKeys(keysFile)
+	for _, k := range poison.Keys() {
+		if clean.Contains(k) {
+			t.Fatalf("poison key %d collides with a clean key", k)
+		}
+	}
+}
+
+func TestOnlineRMIOracleMode(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "500", "-domain", "20000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdOnline([]string{"-in", keysFile, "-epochs", "2", "-percent", "4",
+		"-policy", "manual", "-oracle", "rmi", "-models", "5"}); err != nil {
+		t.Fatalf("online rmi: %v", err)
+	}
+}
+
+func TestOnlineRejectsBadInput(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "4000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdOnline([]string{"-epochs", "2"}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := cmdOnline([]string{"-in", keysFile, "-policy", "hourly"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := cmdOnline([]string{"-in", keysFile, "-policy", "every:0"}); err == nil {
+		t.Fatal("every:0 accepted")
+	}
+	if err := cmdOnline([]string{"-in", keysFile, "-policy", "buffer:x"}); err == nil {
+		t.Fatal("buffer:x accepted")
+	}
+	if err := cmdOnline([]string{"-in", keysFile, "-oracle", "quantum"}); err == nil {
+		t.Fatal("unknown oracle accepted")
+	}
+	// Must error cleanly, not panic building the arrival schedule.
+	if err := cmdOnline([]string{"-in", keysFile, "-epochs", "-1", "-arrivals", "5"}); err == nil {
+		t.Fatal("negative -epochs accepted")
+	}
+}
+
+// TestOnlineWorkersFlagDeterminism: like the attack subcommand, -workers
+// must never change the online scenario's poison output.
+func TestOnlineWorkersFlagDeterminism(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "600", "-domain", "24000", "-seed", "13", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers string) string {
+		t.Helper()
+		out := tmpPath(t, "poison.txt")
+		if err := cmdOnline([]string{"-in", keysFile, "-epochs", "3", "-percent", "3",
+			"-policy", "buffer:25", "-arrivals", "5", "-workers", workers, "-o", out}); err != nil {
+			t.Fatalf("online -workers %s: %v", workers, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if seq, par := run("1"), run("4"); seq != par {
+		t.Fatal("online attack output depends on -workers")
+	}
+}
+
 func TestEvalRejectsOverlap(t *testing.T) {
 	keysFile := tmpPath(t, "keys.txt")
 	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "1000", "-o", keysFile}); err != nil {

@@ -38,6 +38,20 @@
 //	idx, _ := cdfpoison.BuildRMI(ks, cdfpoison.RMIConfig{Fanout: 100})
 //	r := idx.Lookup(key)    // r.Found, r.Pos, r.Probes
 //
+// Attacking an UPDATABLE index online — drip-feeding poison between retrain
+// cycles of a delta-buffer index (the dynamic-adversary setting the paper's
+// successors study):
+//
+//	res, _ := cdfpoison.OnlinePoisonAttack(ks, cdfpoison.OnlineOptions{
+//	    Epochs: 8, EpochBudget: 50, Policy: cdfpoison.RetrainAtBufferSize(256),
+//	})
+//	for _, e := range res.Epochs {
+//	    fmt.Println(e.Epoch, e.RatioLoss, e.PoisonedProbes)
+//	}
+//
+// These snippets are compiled and output-checked as Example functions in
+// api_example_test.go.
+//
 // # Parallel execution
 //
 // Attack entry points accept execution options. WithParallelism(n) runs the
@@ -57,7 +71,8 @@
 // same knob as -workers; the figure sweeps additionally fan out whole
 // experiment cells via internal/bench's Options.Workers.
 //
-// See the examples directory for complete programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the paper-vs-measured record of
-// every reproduced figure.
+// See README.md for the attack catalog and how to run the figure sweeps,
+// the examples directory for complete programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured record of every
+// reproduced figure.
 package cdfpoison

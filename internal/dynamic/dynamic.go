@@ -1,0 +1,372 @@
+// Package dynamic implements an updatable learned index: a CDF regression
+// model trained over a base key set, plus a sorted delta buffer absorbing
+// inserts between retrains, with pluggable merge-and-retrain policies.
+//
+// The paper attacks a STATIC index — trained once over data the adversary
+// poisons before initialization. Its successors ("Poisoning Learned Index
+// Structures: Static and Dynamic Adversarial Attacks on ALEX"; "Algorithmic
+// Complexity Attacks on Dynamic Learned Indexes") show the more realistic
+// threat is an adversary drip-feeding keys into an UPDATABLE index across
+// retrain cycles. This package provides the victim for that online scenario
+// (core.OnlinePoisonAttack): a delta-buffer index in the style of ALEX /
+// PGM's dynamic variants, reduced to the same single-regression substrate
+// the rest of the repository measures.
+//
+// Structure:
+//
+//   - The BASE is an immutable keys.Set the current model was trained on;
+//     lookups over it use the model's prediction plus the guaranteed error
+//     envelope recorded at training time (exactly the rmi package's
+//     last-mile contract, for one model).
+//   - The BUFFER is a small sorted slice of keys accepted since the last
+//     retrain; lookups fall back to plain binary search over it. A growing
+//     buffer degrades lookups even when the model is clean — one of the two
+//     costs the online attacker can drive.
+//   - A RETRAIN merges buffer into base and refits the model. When it
+//     happens is the RetrainPolicy: after every K-th insert call, when the
+//     buffer reaches a size threshold, or only on explicit Retrain() calls.
+//
+// Everything is deterministic: no RNG, no map iteration, no wall clock.
+// Identical insert sequences produce identical indexes, which the online
+// attack's worker-equivalence tests rely on.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
+)
+
+// ErrTooFew is returned when constructing an index over fewer than two keys:
+// a CDF regression needs at least two points to be meaningful.
+var ErrTooFew = errors.New("dynamic: need at least two initial keys")
+
+// PolicyKind enumerates the merge-and-retrain triggers.
+type PolicyKind int
+
+const (
+	// Manual never retrains automatically; the owner calls Retrain().
+	// In the online scenario this models a victim that rebuilds on a
+	// maintenance schedule (one forced retrain per epoch).
+	Manual PolicyKind = iota
+	// EveryK retrains after every K-th call to Insert, counting attempts —
+	// accepted or not. This models write-count maintenance schedules
+	// (e.g. "rebuild every 10k writes"), which an adversary can tick
+	// forward with duplicate inserts that never enter the data.
+	EveryK
+	// BufferThreshold retrains as soon as the delta buffer holds K accepted
+	// keys — the classic bounded-buffer merge policy of dynamic learned
+	// indexes (duplicates do not advance it).
+	BufferThreshold
+)
+
+// String names the kind for reports and CSV cells.
+func (k PolicyKind) String() string {
+	switch k {
+	case Manual:
+		return "manual"
+	case EveryK:
+		return "every-k"
+	case BufferThreshold:
+		return "buffer"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// RetrainPolicy selects when the index merges its buffer and refits.
+// The zero value is Manual.
+type RetrainPolicy struct {
+	Kind PolicyKind
+	// K is the trigger parameter: insert-call period for EveryK, buffer
+	// size for BufferThreshold; ignored by Manual.
+	K int
+}
+
+// ManualPolicy retrains only on explicit Retrain() calls.
+func ManualPolicy() RetrainPolicy { return RetrainPolicy{Kind: Manual} }
+
+// EveryKInserts retrains after every k-th Insert call (k >= 1).
+func EveryKInserts(k int) RetrainPolicy { return RetrainPolicy{Kind: EveryK, K: k} }
+
+// BufferLimit retrains when the delta buffer reaches size k (k >= 1).
+func BufferLimit(k int) RetrainPolicy { return RetrainPolicy{Kind: BufferThreshold, K: k} }
+
+func (p RetrainPolicy) validate() error {
+	switch p.Kind {
+	case Manual:
+		return nil
+	case EveryK, BufferThreshold:
+		if p.K < 1 {
+			return fmt.Errorf("dynamic: %s policy needs K >= 1, got %d", p.Kind, p.K)
+		}
+		return nil
+	default:
+		return fmt.Errorf("dynamic: unknown policy kind %d", int(p.Kind))
+	}
+}
+
+// String renders the policy compactly ("manual", "every-8", "buffer-64").
+func (p RetrainPolicy) String() string {
+	if p.Kind == Manual {
+		return "manual"
+	}
+	return fmt.Sprintf("%s-%d", p.Kind, p.K)
+}
+
+// Index is an updatable learned index: base set + model + delta buffer.
+// It is NOT safe for concurrent mutation; the online attack drives it from
+// a single goroutine and parallelizes only pure reads.
+type Index struct {
+	policy RetrainPolicy
+
+	base  keys.Set         // keys the current model was trained on
+	model regression.Model // fitted on base at the last retrain
+	// eLo/eHi bound (actual rank − predicted rank) over base, recorded at
+	// retrain time: the guaranteed last-mile search envelope.
+	eLo, eHi float64
+
+	buffer []int64 // sorted, duplicate-free keys accepted since last retrain
+
+	inserts  int // Insert calls since the last retrain (EveryK counter)
+	retrains int // completed retrains (the initial fit is not counted)
+}
+
+// New builds an index over the initial key set (>= 2 keys) and trains the
+// first model. The initial fit does not count as a retrain.
+func New(initial keys.Set, policy RetrainPolicy) (*Index, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	if initial.Len() < 2 {
+		return nil, ErrTooFew
+	}
+	x := &Index{policy: policy}
+	if err := x.fit(initial); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// fit retrains the model and error envelope on the given base set.
+func (x *Index) fit(base keys.Set) error {
+	m, err := regression.FitCDF(base)
+	if err != nil {
+		return err
+	}
+	x.base = base
+	x.model = m
+	x.eLo, x.eHi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < base.Len(); i++ {
+		d := float64(i+1) - m.Predict(base.At(i))
+		if d < x.eLo {
+			x.eLo = d
+		}
+		if d > x.eHi {
+			x.eHi = d
+		}
+	}
+	return nil
+}
+
+// Insert offers a key to the index. accepted is false when k is negative or
+// already present (base or buffer); retrained is true when this call
+// triggered a policy retrain. Note that with EveryK even a rejected
+// duplicate advances the retrain counter — it was a write, and write-count
+// schedules tick on writes.
+func (x *Index) Insert(k int64) (accepted, retrained bool) {
+	x.inserts++
+	if k >= 0 && !x.contains(k) {
+		i := sort.Search(len(x.buffer), func(i int) bool { return x.buffer[i] >= k })
+		x.buffer = append(x.buffer, 0)
+		copy(x.buffer[i+1:], x.buffer[i:])
+		x.buffer[i] = k
+		accepted = true
+	}
+	switch x.policy.Kind {
+	case EveryK:
+		if x.inserts >= x.policy.K {
+			retrained = true
+		}
+	case BufferThreshold:
+		if len(x.buffer) >= x.policy.K {
+			retrained = true
+		}
+	}
+	if retrained {
+		x.Retrain()
+	}
+	return accepted, retrained
+}
+
+// contains reports whether k is in the base or the buffer.
+func (x *Index) contains(k int64) bool {
+	if x.base.Contains(k) {
+		return true
+	}
+	i := sort.Search(len(x.buffer), func(i int) bool { return x.buffer[i] >= k })
+	return i < len(x.buffer) && x.buffer[i] == k
+}
+
+// Retrain merges the buffer into the base and refits the model. Retraining
+// with an empty buffer is legal and counted: the model refits to the same
+// data (byte-identically — the fit is deterministic) and the retrain
+// counter still advances, which is what a wall-clock maintenance schedule
+// does on an idle index.
+func (x *Index) Retrain() {
+	if len(x.buffer) > 0 {
+		merged := x.base.Keys()
+		out := make([]int64, 0, len(merged)+len(x.buffer))
+		i, j := 0, 0
+		for i < len(merged) && j < len(x.buffer) {
+			if merged[i] < x.buffer[j] {
+				out = append(out, merged[i])
+				i++
+			} else {
+				out = append(out, x.buffer[j])
+				j++
+			}
+		}
+		out = append(out, merged[i:]...)
+		out = append(out, x.buffer[j:]...)
+		// fit cannot fail here: the merged set has >= 2 keys by construction.
+		if err := x.fit(keys.FromSorted(out)); err != nil {
+			panic(fmt.Sprintf("dynamic: refit after merge: %v", err))
+		}
+		x.buffer = nil
+	} else if err := x.fit(x.base); err != nil {
+		panic(fmt.Sprintf("dynamic: refit on empty buffer: %v", err))
+	}
+	x.inserts = 0
+	x.retrains++
+}
+
+// Len returns the total number of stored keys (base + buffer).
+func (x *Index) Len() int { return x.base.Len() + len(x.buffer) }
+
+// BufferLen returns the number of keys waiting in the delta buffer.
+func (x *Index) BufferLen() int { return len(x.buffer) }
+
+// Retrains returns the number of completed retrains.
+func (x *Index) Retrains() int { return x.retrains }
+
+// Policy returns the index's retrain policy.
+func (x *Index) Policy() RetrainPolicy { return x.policy }
+
+// Base returns the key set the current model was trained on.
+func (x *Index) Base() keys.Set { return x.base }
+
+// Model returns the current fitted model (trained at the last retrain).
+func (x *Index) Model() regression.Model { return x.model }
+
+// Keys materializes the full current content (base ∪ buffer) as a fresh
+// key set. O(n); used by evaluation code, not by lookups.
+func (x *Index) Keys() keys.Set {
+	if len(x.buffer) == 0 {
+		return x.base
+	}
+	bufSet := keys.FromSorted(x.buffer)
+	return x.base.Union(bufSet)
+}
+
+// LookupResult reports a point query against the dynamic index.
+type LookupResult struct {
+	Found    bool
+	InBuffer bool // the key was served from the delta buffer
+	Probes   int  // key comparisons across base window + buffer search
+	Window   int  // guaranteed base search-window width for this query
+}
+
+// Lookup finds a key, counting comparisons. Base keys are searched within
+// the model's guaranteed error envelope (always found); buffer keys fall
+// back to binary search over the buffer. The probe count is the
+// implementation-independent cost metric the online attack degrades.
+func (x *Index) Lookup(k int64) LookupResult {
+	var res LookupResult
+	pred := x.model.Predict(k)
+	lo := int(math.Floor(pred+x.eLo)) - 1 // 1-based rank → 0-based index
+	hi := int(math.Ceil(pred+x.eHi)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > x.base.Len()-1 {
+		hi = x.base.Len() - 1
+	}
+	if lo <= hi {
+		res.Window = hi - lo + 1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			res.Probes++
+			switch c := x.base.At(mid); {
+			case c == k:
+				res.Found = true
+				return res
+			case c < k:
+				lo = mid + 1
+			default:
+				hi = mid - 1
+			}
+		}
+	}
+	// Not in base: the buffer is unmodeled, plain binary search.
+	blo, bhi := 0, len(x.buffer)-1
+	for blo <= bhi {
+		mid := (blo + bhi) / 2
+		res.Probes++
+		switch c := x.buffer[mid]; {
+		case c == k:
+			res.Found = true
+			res.InBuffer = true
+			return res
+		case c < k:
+			blo = mid + 1
+		default:
+			bhi = mid - 1
+		}
+	}
+	return res
+}
+
+// ProbeSum runs a lookup for every query key and returns the exact total
+// probe count plus how many were not found. Integer sums are
+// order-independent, so callers may partition queryKeys across workers and
+// add the partial sums in any grouping without changing the result — the
+// property core.OnlinePoisonAttack's parallel evaluation leans on.
+func (x *Index) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	for _, k := range queryKeys {
+		r := x.Lookup(k)
+		probes += int64(r.Probes)
+		if !r.Found {
+			notFound++
+		}
+	}
+	return probes, notFound
+}
+
+// Stats summarizes the index state for reports.
+type Stats struct {
+	Keys      int     // total stored keys (base + buffer)
+	Buffered  int     // keys in the delta buffer
+	Retrains  int     // completed retrains
+	ModelLoss float64 // in-sample MSE of the current model on its base
+	Window    int     // guaranteed search-window width of the base model
+}
+
+// Stats computes the summary.
+func (x *Index) Stats() Stats {
+	w := int(math.Ceil(x.eHi)-math.Floor(x.eLo)) + 1
+	if w < 1 {
+		w = 1
+	}
+	return Stats{
+		Keys:      x.Len(),
+		Buffered:  len(x.buffer),
+		Retrains:  x.retrains,
+		ModelLoss: x.model.Loss,
+		Window:    w,
+	}
+}
