@@ -9,12 +9,20 @@
 //	lisbench -fig 5 -scale quick      # one figure, test-sized
 //	lisbench -fig 6 -scale large -out results/
 //	lisbench -fig online -out results/   # online scenario: ratio/probes vs epoch
+//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR3.json
+//	lisbench -fig perf -scale quick -baseline BENCH_PR3.json   # CI regression gate
+//
+// The perf sweep is machine-dependent by nature, so it is NOT part of -fig
+// all; with -baseline the command exits non-zero when any matched cell
+// regresses more than -perf-tol in ns/op (or in allocs/op, which is
+// machine-independent).
 //
 // Scales: quick (seconds), default (minutes), large (tens of minutes on one
 // core). See DESIGN.md §3 ("Scaling policy") for what each preserves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,14 +34,23 @@ import (
 	"cdfpoison/internal/export"
 )
 
+// perfBaseline and perfTol parameterize runPerf's regression gate; they are
+// package-level so the runner keeps the shared func(Options, string) shape.
+var (
+	perfBaseline string
+	perfTol      float64
+)
+
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|perf|all (all excludes perf)")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 	)
+	flag.StringVar(&perfBaseline, "baseline", "", "BENCH_PR3.json to compare the perf sweep against; exit 1 on regression")
+	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
 	opts := bench.Options{Scale: bench.Scale(*scale), Seed: *seed, Workers: *workers}
@@ -59,7 +76,10 @@ func main() {
 		"ext":      runExtensions,
 		"ablation": runAblations,
 		"online":   runOnline,
+		"perf":     runPerf,
 	}
+	// perf is deliberately absent: wall-clock benchmarks do not belong in a
+	// figures-regeneration run (they are requested explicitly).
 	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online"}
 
 	var selected []string
@@ -91,6 +111,8 @@ func name(f string) string {
 		return "ablations"
 	case "online":
 		return "online scenario"
+	case "perf":
+		return "perf sweep"
 	default:
 		return "figure " + f
 	}
@@ -492,6 +514,67 @@ func runOnline(opts bench.Options, out string) error {
 	export.RenderChart(os.Stdout, "Loss ratio vs epoch (highest budget)", series, 64, 12)
 	fmt.Printf("max final ratio: %.1f×\n", res.MaxFinalRatio())
 	return writeCSV(out, "online.csv", tb)
+}
+
+// runPerf measures the fixed attack×n×workers cell list (bench.PerfSweep),
+// prints the table, writes BENCH_PR3.json when -out is given, and — when
+// -baseline names a previous report — fails on >perfTol ns/op (or
+// allocs/op) regression in any matched cell. EXPERIMENTS.md's perf table
+// records the checked-in baseline's provenance.
+func runPerf(opts bench.Options, out string) error {
+	fmt.Println("=== Perf sweep: attack throughput trajectory (BENCH_PR3.json) ===")
+	rep, err := bench.PerfSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("host: %s/%s, %d CPU (GOMAXPROCS %d), %s, scale %s\n",
+		rep.GOOS, rep.GOARCH, rep.NumCPU, rep.GOMAXPROCS, rep.GoVersion, rep.Scale)
+	tb := export.NewTable("attack", "n", "p", "workers", "iters",
+		"ns_per_op", "allocs_per_op", "bytes_per_op")
+	for _, r := range rep.Records {
+		tb.AddRow(r.Attack, fmt.Sprint(r.N), fmt.Sprint(r.P), fmt.Sprint(r.Workers),
+			fmt.Sprint(r.Iters), export.F(r.NsPerOp), export.F(r.AllocsPerOp),
+			export.F(r.BytesPerOp))
+	}
+	tb.Render(os.Stdout)
+	if out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, "BENCH_PR3.json")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if perfBaseline == "" {
+		return nil
+	}
+	blob, err := os.ReadFile(perfBaseline)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base bench.PerfReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", perfBaseline, err)
+	}
+	deltas, ok := bench.ComparePerf(base, rep, perfTol)
+	ct := export.NewTable("cell", "base_ns", "cur_ns", "ns_ratio", "base_allocs", "cur_allocs", "verdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Reason != "" {
+			verdict = d.Reason
+		}
+		ct.AddRow(d.Key, export.F(d.BaseNs), export.F(d.CurNs), export.F(d.NsRatio),
+			export.F(d.BaseAllocs), export.F(d.CurAllocs), verdict)
+	}
+	ct.Render(os.Stdout)
+	if !ok {
+		return fmt.Errorf("perf regression against %s exceeds %.0f%% tolerance", perfBaseline, perfTol*100)
+	}
+	fmt.Printf("no regression against %s (tolerance %.0f%%)\n", perfBaseline, perfTol*100)
+	return nil
 }
 
 func max64(a, b int64) int64 {

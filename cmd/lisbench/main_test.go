@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -111,6 +112,104 @@ func TestRunnersWithoutOutputDir(t *testing.T) {
 		run := run
 		if err := silently(t, func() error { return run(quickOpts(), "") }); err != nil {
 			t.Fatalf("%s without -out: %v", name, err)
+		}
+	}
+}
+
+// perfQuickOpts pins the perf sweep to one measured iteration per cell so
+// the runner tests stay fast (Trials is the bench.PerfSweep test hook).
+func perfQuickOpts() bench.Options { return bench.Options{Scale: bench.ScaleQuick, Seed: 7, Trials: 1} }
+
+func TestRunPerfWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := silently(t, func() error { return runPerf(perfQuickOpts(), dir) }); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_PR3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.PerfReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("BENCH_PR3.json unparseable: %v", err)
+	}
+	if rep.Schema != bench.PerfSchema || len(rep.Records) == 0 {
+		t.Fatalf("report shape: schema=%q records=%d", rep.Schema, len(rep.Records))
+	}
+}
+
+func TestRunPerfBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := silently(t, func() error { return runPerf(perfQuickOpts(), dir) }); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_PR3.json")
+
+	// Comparing a run against its own report must pass (tolerance absorbs
+	// run-to-run noise at Trials=1 only statistically, so use a wide one).
+	defer func() { perfBaseline, perfTol = "", 0.20 }()
+	perfBaseline, perfTol = path, 25.0
+	if err := silently(t, func() error { return runPerf(perfQuickOpts(), "") }); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	// A doctored baseline with impossibly fast cells must trip the gate.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.PerfReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Records {
+		rep.Records[i].NsPerOp = 1 // everything is a >tol regression now
+		rep.Records[i].AllocsPerOp = 0
+	}
+	doctored, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := filepath.Join(dir, "fast.json")
+	if err := os.WriteFile(fast, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	perfBaseline, perfTol = fast, 0.20
+	if err := silently(t, func() error { return runPerf(perfQuickOpts(), "") }); err == nil {
+		t.Fatal("regression against doctored baseline not detected")
+	}
+
+	// A missing baseline file is an error, not a silent pass.
+	perfBaseline = filepath.Join(dir, "nope.json")
+	if err := silently(t, func() error { return runPerf(perfQuickOpts(), "") }); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+// TestCheckedInPerfBaselineParses: the repository-root BENCH_PR3.json that
+// CI gates against must stay a valid report for the current schema.
+func TestCheckedInPerfBaselineParses(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR3.json"))
+	if err != nil {
+		t.Fatalf("checked-in baseline missing: %v", err)
+	}
+	var rep bench.PerfReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != bench.PerfSchema {
+		t.Fatalf("baseline schema %q != %q", rep.Schema, bench.PerfSchema)
+	}
+	keys := map[string]bool{}
+	for _, r := range rep.Records {
+		keys[r.Key()] = true
+	}
+	// Every sweep cell must have a baseline counterpart, or the CI
+	// comparison quietly loses coverage. PerfCellKeys enumerates the fixed
+	// cell list without running any attack.
+	for _, k := range bench.PerfCellKeys() {
+		if !keys[k] {
+			t.Errorf("cell %s has no baseline record; regenerate BENCH_PR3.json", k)
 		}
 	}
 }

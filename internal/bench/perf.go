@@ -1,0 +1,306 @@
+package bench
+
+// The machine-readable performance harness behind `lisbench -fig perf`.
+//
+// Every attack in this repository ultimately spins Algorithm 1's inner
+// loop, so attack throughput is itself an experimental result — and until
+// this harness existed the repository had no recorded trajectory proving
+// any optimization actually landed. PerfSweep measures a FIXED cell list
+// (attack × n × workers, identical at every Scale so reports from any two
+// runs can be compared record-by-record), and the report serializes to
+// BENCH_PR3.json: the checked-in baseline at the repository root that CI
+// replays against (ComparePerf) and that EXPERIMENTS.md's perf table cites.
+// Scale only controls how long each cell is sampled, never what it runs.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+// PerfSchema identifies the report layout; bump on incompatible change.
+const PerfSchema = "cdfpoison-perf/1"
+
+// PerfRecord is one measured cell. Attack outputs are deterministic; the
+// three measured columns obviously are not, which is why ComparePerf takes
+// a tolerance for ns/op but holds allocs/op (machine-independent) tighter.
+type PerfRecord struct {
+	Attack string `json:"attack"`
+	N      int    `json:"n"`
+	P      int    `json:"p"` // poison budget (0 where not applicable)
+	// Workers is the REQUESTED worker count (0 = one per core), so records
+	// match across machines with different core counts; Resolved is what it
+	// meant on the measuring host.
+	Workers     int     `json:"workers"`
+	Resolved    int     `json:"workers_resolved"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Key identifies the cell for baseline matching.
+func (r PerfRecord) Key() string {
+	return fmt.Sprintf("%s/n=%d/p=%d/workers=%d", r.Attack, r.N, r.P, r.Workers)
+}
+
+// PerfReport is the full sweep result, serialized to BENCH_PR3.json.
+type PerfReport struct {
+	Schema     string       `json:"schema"`
+	Scale      string       `json:"scale"`
+	Seed       uint64       `json:"seed"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Records    []PerfRecord `json:"records"`
+}
+
+// perfCell is one sweep entry: op must run the attack once, end to end.
+type perfCell struct {
+	attack string
+	n, p   int
+	op     func(ks keys.Set, workers int) error
+}
+
+// perfCells returns the fixed cell list (before the workers cross-product).
+// The greedy n=100k/p=50 cell is the repository's acceptance configuration
+// (BenchmarkGreedyMultiPointWorkers uses the same dataset parameters).
+func perfCells() []perfCell {
+	greedy := func(p int) func(keys.Set, int) error {
+		return func(ks keys.Set, w int) error {
+			_, err := core.GreedyMultiPoint(ks, p, core.WithWorkers(w))
+			return err
+		}
+	}
+	return []perfCell{
+		{attack: "greedy", n: 2_000, p: 20, op: greedy(20)},
+		{attack: "greedy", n: 100_000, p: 50, op: greedy(50)},
+		{attack: "single", n: 100_000, op: func(ks keys.Set, w int) error {
+			_, err := core.OptimalSinglePoint(ks, core.WithWorkers(w))
+			return err
+		}},
+		{attack: "brute", n: 100_000, op: func(ks keys.Set, w int) error {
+			_, err := core.BruteForceSinglePoint(ks, core.WithWorkers(w))
+			return err
+		}},
+		{attack: "rmi", n: 10_000, p: 500, op: func(ks keys.Set, w int) error {
+			_, err := core.RMIAttack(ks, core.RMIAttackOptions{
+				NumModels: 20, Percent: 5, Alpha: 3,
+			}, core.WithWorkers(w))
+			return err
+		}},
+		{attack: "online", n: 5_000, p: 100, op: func(ks keys.Set, w int) error {
+			arrivals := make([][]int64, 4)
+			arng := xrand.New(99)
+			for e := range arrivals {
+				arrivals[e] = xrand.SampleInt64s(arng, 50, int64(5_000)*100)
+			}
+			_, err := core.OnlinePoisonAttack(ks, core.OnlineOptions{
+				Epochs:      4,
+				EpochBudget: 25,
+				Policy:      dynamic.ManualPolicy(),
+				Arrivals:    arrivals,
+			}, core.WithWorkers(w))
+			return err
+		}},
+	}
+}
+
+// PerfCellKeys returns the stable cell keys of the fixed sweep (both
+// workers variants), without running any attack — for coverage checks
+// against a checked-in baseline.
+func PerfCellKeys() []string {
+	var keys []string
+	for _, c := range perfCells() {
+		for _, w := range []int{1, 0} {
+			keys = append(keys, PerfRecord{Attack: c.attack, N: c.n, P: c.p, Workers: w}.Key())
+		}
+	}
+	return keys
+}
+
+// perfBudget is the per-cell sampling budget for one scale.
+type perfBudget struct {
+	minIters int
+	minTime  time.Duration
+	maxIters int
+}
+
+func budgetFor(o Options) perfBudget {
+	if o.Trials > 0 {
+		// Test hook: exactly Trials iterations, no time floor.
+		return perfBudget{minIters: o.Trials, maxIters: o.Trials}
+	}
+	switch o.Scale {
+	case ScaleQuick:
+		return perfBudget{minIters: 2, minTime: 250 * time.Millisecond, maxIters: 200}
+	case ScaleLarge:
+		return perfBudget{minIters: 10, minTime: 4 * time.Second, maxIters: 10_000}
+	default:
+		return perfBudget{minIters: 5, minTime: 1500 * time.Millisecond, maxIters: 2_000}
+	}
+}
+
+// PerfSweep measures every cell and returns the machine-readable report.
+// Worker variants are 1 (sequential) and 0 (one per core); on a single-core
+// host both resolve to one worker and the duplicate documents exactly that.
+func PerfSweep(o Options) (PerfReport, error) {
+	o = o.fill()
+	rep := PerfReport{
+		Schema:     PerfSchema,
+		Scale:      string(o.Scale),
+		Seed:       o.Seed,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	budget := budgetFor(o)
+	// Datasets are generated once per n from the root seed, sequentially,
+	// so the measured work is identical across worker variants and runs.
+	sets := map[int]keys.Set{}
+	for _, c := range perfCells() {
+		if _, ok := sets[c.n]; ok {
+			continue
+		}
+		ks, err := dataset.Uniform(xrand.New(o.Seed), c.n, int64(c.n)*100)
+		if err != nil {
+			return PerfReport{}, fmt.Errorf("bench: perf dataset n=%d: %w", c.n, err)
+		}
+		sets[c.n] = ks
+	}
+	for _, c := range perfCells() {
+		for _, w := range []int{1, 0} {
+			r, err := measurePerf(c, sets[c.n], w, budget)
+			if err != nil {
+				return PerfReport{}, fmt.Errorf("bench: perf cell %s: %w", r.Key(), err)
+			}
+			rep.Records = append(rep.Records, r)
+		}
+	}
+	return rep, nil
+}
+
+// measurePerf times one cell: a warm-up run, then iterations until both the
+// minimum count and minimum duration are met, with allocation figures from
+// runtime.MemStats deltas (the same counters testing's -benchmem reads).
+func measurePerf(c perfCell, ks keys.Set, workers int, budget perfBudget) (PerfRecord, error) {
+	rec := PerfRecord{
+		Attack: c.attack, N: c.n, P: c.p,
+		Workers: workers, Resolved: resolveWorkers(workers),
+	}
+	if err := c.op(ks, workers); err != nil { // warm-up + error check
+		return rec, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for iters < budget.minIters || time.Since(start) < budget.minTime {
+		if iters >= budget.maxIters {
+			break
+		}
+		if err := c.op(ks, workers); err != nil {
+			return rec, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	rec.Iters = iters
+	rec.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	rec.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	rec.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+	return rec, nil
+}
+
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// PerfDelta is one baseline-vs-current comparison row.
+type PerfDelta struct {
+	Key                   string
+	BaseNs, CurNs         float64
+	BaseAllocs, CurAllocs float64
+	NsRatio, AllocsRatio  float64
+	Regressed             bool
+	Reason                string
+}
+
+// ComparePerf matches current records against a baseline by cell key and
+// flags regressions: ns/op above baseline×(1+tol) — the benchstat-style
+// wall-clock gate — or allocs/op above the same bound plus an absolute
+// slack of 2 (allocation counts are near-deterministic, so they regress
+// loudly and cleanly even across machines). Records present on only one
+// side are reported with Reason "unmatched" but never fail the gate, so
+// adding a cell does not break CI against an older baseline; likewise,
+// cells whose REQUESTED workers resolved to different concurrency on the
+// two hosts (a workers=0 cell measured on hosts with different core
+// counts) are reported as "resolved-workers differ" and skipped — they
+// measured different code paths with genuinely different allocation
+// profiles, so comparing them would fail every cross-machine gate. The
+// second return is true when no comparable record regressed.
+func ComparePerf(baseline, current PerfReport, tol float64) ([]PerfDelta, bool) {
+	base := map[string]PerfRecord{}
+	for _, r := range baseline.Records {
+		base[r.Key()] = r
+	}
+	ok := true
+	var deltas []PerfDelta
+	for _, r := range current.Records {
+		b, found := base[r.Key()]
+		if !found {
+			deltas = append(deltas, PerfDelta{Key: r.Key(), CurNs: r.NsPerOp,
+				CurAllocs: r.AllocsPerOp, Reason: "unmatched"})
+			continue
+		}
+		if b.Resolved != r.Resolved {
+			deltas = append(deltas, PerfDelta{Key: r.Key(), BaseNs: b.NsPerOp,
+				CurNs: r.NsPerOp, BaseAllocs: b.AllocsPerOp,
+				CurAllocs: r.AllocsPerOp,
+				Reason:    fmt.Sprintf("resolved-workers differ (%d vs %d)", b.Resolved, r.Resolved)})
+			continue
+		}
+		d := PerfDelta{
+			Key:    r.Key(),
+			BaseNs: b.NsPerOp, CurNs: r.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, CurAllocs: r.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			d.NsRatio = r.NsPerOp / b.NsPerOp
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocsRatio = r.AllocsPerOp / b.AllocsPerOp
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tol) {
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("ns/op +%.0f%%", (d.NsRatio-1)*100)
+		}
+		if r.AllocsPerOp > b.AllocsPerOp*(1+tol)+2 {
+			d.Regressed = true
+			if d.Reason != "" {
+				d.Reason += ", "
+			}
+			d.Reason += fmt.Sprintf("allocs/op %.1f → %.1f", b.AllocsPerOp, r.AllocsPerOp)
+		}
+		if d.Regressed {
+			ok = false
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, ok
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// perfTestOpts keeps the sweep test-sized: Trials=1 pins every cell to one
+// warm-up plus one measured iteration.
+func perfTestOpts() Options { return Options{Scale: ScaleQuick, Seed: 7, Trials: 1} }
+
+func TestPerfSweepShape(t *testing.T) {
+	rep, err := PerfSweep(perfTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != PerfSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if want := len(perfCells()) * 2; len(rep.Records) != want {
+		t.Fatalf("%d records, want %d (cells × workers variants)", len(rep.Records), want)
+	}
+	seen := map[string]bool{}
+	attacks := map[string]bool{}
+	for _, r := range rep.Records {
+		if seen[r.Key()] {
+			t.Fatalf("duplicate cell key %s", r.Key())
+		}
+		seen[r.Key()] = true
+		attacks[r.Attack] = true
+		if r.Iters < 1 || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate measurement %+v", r)
+		}
+		if r.Resolved < 1 {
+			t.Fatalf("unresolved workers in %+v", r)
+		}
+	}
+	for _, a := range []string{"greedy", "single", "brute", "rmi", "online"} {
+		if !attacks[a] {
+			t.Fatalf("attack %q missing from the sweep", a)
+		}
+	}
+	// The acceptance cell must be present under its stable key.
+	if !seen["greedy/n=100000/p=50/workers=1"] {
+		t.Fatal("acceptance cell greedy/n=100000/p=50/workers=1 missing")
+	}
+	// The report must round-trip through JSON (the BENCH_PR3.json format).
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(rep.Records) || back.Records[0].Key() != rep.Records[0].Key() {
+		t.Fatal("JSON round-trip lost records")
+	}
+}
+
+// TestPerfSweepAllocationCeiling ties the perf harness to the tentpole
+// claim: the measured greedy acceptance cell must report the
+// zero-allocation kernel's footprint, not the historical hundreds of
+// allocations per op.
+func TestPerfSweepAllocationCeiling(t *testing.T) {
+	rep, err := PerfSweep(perfTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Records {
+		if r.Attack == "greedy" && r.Workers == 1 {
+			// Setup-only allocations plus MemStats sampling noise; the
+			// pre-kernel implementation measured 300+ on this cell.
+			if r.AllocsPerOp > 40 {
+				t.Fatalf("%s allocs/op = %v; the incremental kernel should keep this near setup cost", r.Key(), r.AllocsPerOp)
+			}
+		}
+	}
+}
+
+func TestComparePerf(t *testing.T) {
+	base := PerfReport{Records: []PerfRecord{
+		{Attack: "greedy", N: 100, P: 5, Workers: 1, NsPerOp: 1000, AllocsPerOp: 10},
+		{Attack: "single", N: 100, Workers: 1, NsPerOp: 500, AllocsPerOp: 4},
+	}}
+	// Identical → ok.
+	if _, ok := ComparePerf(base, base, 0.20); !ok {
+		t.Fatal("identical reports flagged as regression")
+	}
+	// 10% slower within 20% tolerance → ok.
+	cur := PerfReport{Records: []PerfRecord{
+		{Attack: "greedy", N: 100, P: 5, Workers: 1, NsPerOp: 1100, AllocsPerOp: 10},
+	}}
+	if deltas, ok := ComparePerf(base, cur, 0.20); !ok {
+		t.Fatalf("10%% drift flagged: %+v", deltas)
+	}
+	// 50% slower → regression.
+	cur.Records[0].NsPerOp = 1500
+	deltas, ok := ComparePerf(base, cur, 0.20)
+	if ok {
+		t.Fatal("50% ns/op regression not flagged")
+	}
+	if !deltas[0].Regressed || deltas[0].NsRatio != 1.5 {
+		t.Fatalf("delta %+v", deltas[0])
+	}
+	// Alloc regression alone → regression.
+	cur.Records[0].NsPerOp = 1000
+	cur.Records[0].AllocsPerOp = 100
+	if _, ok := ComparePerf(base, cur, 0.20); ok {
+		t.Fatal("10× allocs/op regression not flagged")
+	}
+	// Small absolute alloc jitter rides the +2 slack.
+	cur.Records[0].AllocsPerOp = 13
+	if _, ok := ComparePerf(base, cur, 0.20); !ok {
+		t.Fatal("10→13 allocs (within +20%+2 slack) flagged")
+	}
+	// Unmatched record: reported, not failed.
+	cur.Records[0] = PerfRecord{Attack: "new", N: 1, Workers: 1, NsPerOp: 1}
+	deltas, ok = ComparePerf(base, cur, 0.20)
+	if !ok || deltas[0].Reason != "unmatched" {
+		t.Fatalf("unmatched handling: ok=%v deltas=%+v", ok, deltas)
+	}
+	// A workers=0 cell measured on hosts with different core counts
+	// resolved to different concurrency: skipped, never failed — otherwise
+	// a baseline recorded on a 1-core host would turn multi-core CI
+	// permanently red on the parallel path's different alloc profile.
+	base0 := PerfReport{Records: []PerfRecord{
+		{Attack: "greedy", N: 100, P: 5, Workers: 0, Resolved: 1, NsPerOp: 1000, AllocsPerOp: 10},
+	}}
+	cur0 := PerfReport{Records: []PerfRecord{
+		{Attack: "greedy", N: 100, P: 5, Workers: 0, Resolved: 8, NsPerOp: 9000, AllocsPerOp: 400},
+	}}
+	deltas, ok = ComparePerf(base0, cur0, 0.20)
+	if !ok || deltas[0].Regressed {
+		t.Fatalf("resolved-workers mismatch failed the gate: %+v", deltas)
+	}
+	if deltas[0].Reason == "" {
+		t.Fatal("resolved-workers mismatch not reported")
+	}
+}
+
+// TestPerfCellKeysMatchesSweep: the cheap key enumeration must stay in sync
+// with what PerfSweep actually measures.
+func TestPerfCellKeysMatchesSweep(t *testing.T) {
+	keys := PerfCellKeys()
+	if len(keys) != len(perfCells())*2 {
+		t.Fatalf("%d keys for %d cells", len(keys), len(perfCells()))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if !seen["greedy/n=100000/p=50/workers=1"] || !seen["online/n=5000/p=100/workers=0"] {
+		t.Fatalf("expected cells missing from %v", keys)
+	}
+}

@@ -41,7 +41,8 @@ func (m ModificationResult) RatioLoss() float64 { return SafeRatio(m.FinalLoss()
 // GreedyModification applies up to p key modifications, each chosen
 // greedily: first the optimal single removal against the current set, then
 // the optimal single insertion against the survivor set (each O(n), so a
-// step costs O(n) like the base attacks). The pair is applied only if the
+// step costs O(n) like the base attacks — the survivor set itself is built
+// by keys.Set.Remove in one copy, not a re-sort). The pair is applied only if the
 // resulting loss exceeds the current loss, so the trajectory is
 // non-decreasing and the ratio is >= 1.
 //
@@ -72,9 +73,9 @@ func GreedyModification(ks keys.Set, p int) (ModificationResult, error) {
 		if err != nil {
 			return ModificationResult{}, err
 		}
-		survivors, err := without(res.Modified, rem.Key)
-		if err != nil {
-			return ModificationResult{}, err
+		survivors, ok := res.Modified.Remove(rem.Key)
+		if !ok {
+			return ModificationResult{}, fmt.Errorf("core: modification bookkeeping: chosen key %d absent", rem.Key)
 		}
 		ins, err := OptimalSinglePoint(survivors)
 		if err != nil {
@@ -106,15 +107,4 @@ func GreedyModification(ks keys.Set, p int) (ModificationResult, error) {
 		current = ins.PoisonedLoss
 	}
 	return res, nil
-}
-
-// without returns ks minus one key.
-func without(ks keys.Set, k int64) (keys.Set, error) {
-	out := make([]int64, 0, ks.Len()-1)
-	for _, v := range ks.Keys() {
-		if v != k {
-			out = append(out, v)
-		}
-	}
-	return keys.NewStrict(out)
 }

@@ -37,9 +37,9 @@ func TestGreedyModificationBasics(t *testing.T) {
 		if !cur.Contains(s.Removed) {
 			t.Fatalf("step %d removed absent key %d", i, s.Removed)
 		}
-		next, err := without(cur, s.Removed)
-		if err != nil {
-			t.Fatal(err)
+		next, ok := cur.Remove(s.Removed)
+		if !ok {
+			t.Fatalf("step %d removed absent key %d", i, s.Removed)
 		}
 		if s.Inserted >= 0 {
 			var ok bool

@@ -179,10 +179,7 @@ func (st *onlineState) measure(rep *EpochReport) error {
 	rep.RatioLoss = SafeRatio(poisLoss, cleanLoss)
 
 	n := len(st.legit)
-	grain := engine.GrainFor(n, st.ex.pool)
-	if grain < endpointGrainFloor {
-		grain = endpointGrainFloor
-	}
+	grain := engine.GrainForMin(n, st.ex.pool, endpointGrainFloor)
 	chunks, err := engine.MapChunks(st.ex.ctx, st.ex.pool, n, grain,
 		func(lo, hi int) (probeAgg, error) {
 			var a probeAgg

@@ -205,12 +205,36 @@ func BenchmarkGreedyMultiPointWorkers(b *testing.B) {
 	const budget = 50
 	for _, w := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("n=100k/p=%d/workers=%d", budget, w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := GreedyMultiPoint(ks, budget, WithWorkers(w)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// TestGreedyMultiPointAllocationBudget pins the incremental kernel's
+// zero-allocation steady state: a sequential greedy attack allocates only
+// its setup (mutable set, kernel, scratch buffer, result slices) — if any
+// per-step allocation crept back in, the count would scale with the budget
+// and blow far past this bound.
+func TestGreedyMultiPointAllocationBudget(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(321), 2_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := GreedyMultiPoint(ks, budget, WithWorkers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Setup costs ~10 allocations; 16 leaves slack for runtime noise while
+	// still catching any O(budget) regression (50 steps ⇒ ≥ 50 allocs).
+	if allocs > 16 {
+		t.Fatalf("GreedyMultiPoint(p=%d) allocated %v times; the kernel must not allocate per step", budget, allocs)
 	}
 }
 

@@ -145,16 +145,9 @@ func GreedyRemoval(ks keys.Set, p int) (GreedyRemovalResult, error) {
 			break
 		}
 		current = step.PoisonedLoss
-		// Rebuild the survivor set without the chosen key.
-		out := make([]int64, 0, res.Remaining.Len()-1)
-		for _, k := range res.Remaining.Keys() {
-			if k != step.Key {
-				out = append(out, k)
-			}
-		}
-		next, err := keys.NewStrict(out)
-		if err != nil {
-			return GreedyRemovalResult{}, fmt.Errorf("core: removal bookkeeping: %w", err)
+		next, ok := res.Remaining.Remove(step.Key)
+		if !ok {
+			return GreedyRemovalResult{}, fmt.Errorf("core: removal bookkeeping: chosen key %d absent", step.Key)
 		}
 		res.Remaining = next
 		res.Removed = append(res.Removed, step.Key)

@@ -105,6 +105,59 @@ type memoVal struct {
 	injected int
 }
 
+// memoShardCount shards the range-attack memo so Algorithm 2's parallel
+// per-segment phases stop serializing on a single map mutex at high worker
+// counts: adjacent segments hash to independent locks, and the exchange
+// loop's constant re-queries of hot triples contend only within a shard.
+// 64 shards keep the fixed cost trivial while exceeding any realistic
+// worker count. Power of two so the hash folds with a mask.
+const memoShardCount = 64
+
+// rangeMemo is the sharded (lo, hi, budget) → attack-outcome cache.
+// Values are deterministic, so two workers racing to evaluate the same
+// triple store identical bytes and the race is harmless; the shards exist
+// purely to cut lock contention (BenchmarkRangeMemoContention measures it).
+type rangeMemo struct {
+	shards [memoShardCount]struct {
+		mu sync.Mutex
+		m  map[memoKey]memoVal
+	}
+}
+
+func newRangeMemo(sizeHint int) *rangeMemo {
+	rm := &rangeMemo{}
+	per := sizeHint/memoShardCount + 1
+	for i := range rm.shards {
+		rm.shards[i].m = make(map[memoKey]memoVal, per)
+	}
+	return rm
+}
+
+// shard mixes the triple with splitmix64 constants; quality matters only
+// enough to spread adjacent (lo, hi) ranges across shards.
+func (k memoKey) shard() uint64 {
+	h := uint64(k.lo)*0x9e3779b97f4a7c15 ^ uint64(k.hi)*0xbf58476d1ce4e5b9 ^ uint64(k.budget)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h & (memoShardCount - 1)
+}
+
+func (rm *rangeMemo) get(k memoKey) (memoVal, bool) {
+	s := &rm.shards[k.shard()]
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (rm *rangeMemo) put(k memoKey, v memoVal) {
+	s := &rm.shards[k.shard()]
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
 // rmiAttackState carries Algorithm 2's mutable state.
 type rmiAttackState struct {
 	ks     keys.Set
@@ -116,18 +169,17 @@ type rmiAttackState struct {
 	thresh int
 	ex     exec
 
-	mu   sync.Mutex          // guards memo; values are deterministic, so a racing
-	memo map[memoKey]memoVal // recompute stores the identical bytes
+	memo *rangeMemo
 }
 
 // evalRange runs the greedy attack (Algorithm 1) on the key range
 // [lo, hi) with the given budget, memoized. Degenerate ranges (< 2 keys)
 // evaluate to zero loss and zero injections.
 //
-// Safe for concurrent use: the memo is mutex-protected and the greedy
-// attack itself runs outside the lock. Two workers may race to evaluate the
-// same triple, but GreedyMultiPoint is deterministic, so both compute the
-// same value and the double store is harmless.
+// Safe for concurrent use: the memo is shard-locked and the greedy attack
+// itself runs outside any lock. Two workers may race to evaluate the same
+// triple, but GreedyMultiPoint is deterministic, so both compute the same
+// value and the double store is harmless.
 //
 // The attack context is threaded into the inner greedy attack so a
 // cancellation aborts mid-segment rather than after the full O(p·n) run;
@@ -135,12 +187,10 @@ type rmiAttackState struct {
 // engine.Map surfaces ctx.Err() at its next task boundary, discarding it.
 func (st *rmiAttackState) evalRange(lo, hi, budget int) memoVal {
 	k := memoKey{lo, hi, budget}
-	st.mu.Lock()
-	v, ok := st.memo[k]
-	st.mu.Unlock()
-	if ok {
+	if v, ok := st.memo.get(k); ok {
 		return v
 	}
+	var v memoVal
 	if hi-lo >= 2 {
 		sub := st.ks.Slice(lo, hi)
 		g, err := GreedyMultiPoint(sub, budget, WithContext(st.ex.ctx))
@@ -151,9 +201,7 @@ func (st *rmiAttackState) evalRange(lo, hi, budget int) memoVal {
 		}
 		v = memoVal{loss: g.FinalLoss(), injected: len(g.Poison)}
 	}
-	st.mu.Lock()
-	st.memo[k] = v
-	st.mu.Unlock()
+	st.memo.put(k, v)
 	return v
 }
 
@@ -261,7 +309,7 @@ func RMIAttack(ks keys.Set, opts RMIAttackOptions, execOpts ...Option) (RMIAttac
 		bounds: make([]int, N+1),
 		budget: make([]int, N),
 		loss:   make([]float64, N),
-		memo:   make(map[memoKey]memoVal, 4*N),
+		memo:   newRangeMemo(4 * N),
 		ex:     newExec(execOpts),
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"cdfpoison/internal/keys"
@@ -280,4 +281,79 @@ func TestRMIAttackPerModelReportsConsistent(t *testing.T) {
 	if math.Abs(sum/float64(len(res.Models))-res.PoisonedRMILoss) > 1e-9*(1+res.PoisonedRMILoss) {
 		t.Fatal("PoisonedRMILoss is not the mean of per-model losses")
 	}
+}
+
+// TestRangeMemoBasics: get/put round-trips, distinct triples stay distinct,
+// and the shard spread is non-degenerate for the adjacent (lo, hi) ranges
+// the exchange loop produces.
+func TestRangeMemoBasics(t *testing.T) {
+	rm := newRangeMemo(16)
+	if _, ok := rm.get(memoKey{1, 2, 3}); ok {
+		t.Fatal("empty memo claimed a hit")
+	}
+	rm.put(memoKey{1, 2, 3}, memoVal{loss: 1.5, injected: 3})
+	rm.put(memoKey{1, 2, 4}, memoVal{loss: 2.5, injected: 4})
+	if v, ok := rm.get(memoKey{1, 2, 3}); !ok || v.loss != 1.5 || v.injected != 3 {
+		t.Fatalf("get = (%+v, %v)", v, ok)
+	}
+	if v, ok := rm.get(memoKey{1, 2, 4}); !ok || v.loss != 2.5 {
+		t.Fatalf("neighbour triple = (%+v, %v)", v, ok)
+	}
+	// Adjacent ranges (the exchange loop's access pattern) must spread over
+	// many shards, or the sharding buys nothing.
+	used := map[uint64]bool{}
+	for lo := 0; lo < 64; lo++ {
+		used[memoKey{lo, lo + 100, 5}.shard()] = true
+	}
+	if len(used) < memoShardCount/4 {
+		t.Fatalf("64 adjacent ranges hit only %d shards", len(used))
+	}
+}
+
+// BenchmarkRangeMemoContention measures the satellite fix directly: hot
+// memo hits from parallel workers on the sharded memo vs a single-mutex
+// map (the pre-PR design, reconstructed inline).
+func BenchmarkRangeMemoContention(b *testing.B) {
+	keysList := make([]memoKey, 256)
+	for i := range keysList {
+		keysList[i] = memoKey{lo: i * 100, hi: i*100 + 500, budget: i % 8}
+	}
+	b.Run("sharded", func(b *testing.B) {
+		rm := newRangeMemo(len(keysList))
+		for _, k := range keysList {
+			rm.put(k, memoVal{loss: float64(k.lo)})
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				k := keysList[i&255]
+				if _, ok := rm.get(k); !ok {
+					b.Error("miss")
+					return
+				}
+				i++
+			}
+		})
+	})
+	b.Run("single-mutex", func(b *testing.B) {
+		var mu sync.Mutex
+		m := make(map[memoKey]memoVal, len(keysList))
+		for _, k := range keysList {
+			m[k] = memoVal{loss: float64(k.lo)}
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				k := keysList[i&255]
+				mu.Lock()
+				_, ok := m[k]
+				mu.Unlock()
+				if !ok {
+					b.Error("miss")
+					return
+				}
+				i++
+			}
+		})
+	})
 }

@@ -76,7 +76,7 @@ func OptimalSinglePoint(ks keys.Set, opts ...Option) (SinglePointResult, error) 
 	if err != nil {
 		return SinglePointResult{}, err
 	}
-	return optimalSinglePointPrefix(pre, newExec(opts))
+	return newEndpointScan(pre).run(newExec(opts))
 }
 
 // candidateBest is one chunk's locally-best candidate. Reducing these in
@@ -104,42 +104,63 @@ func foldBest(chunks []candidateBest, res *SinglePointResult) {
 }
 
 // endpointGrainFloor keeps chunks of the O(1)-per-candidate endpoint scan
-// large enough that scheduling overhead stays negligible.
-const endpointGrainFloor = 512
+// large enough that scheduling overhead stays negligible. The incremental
+// kernel shrank per-candidate work to a few dozen float operations, so the
+// floor sits well above GrainFor's sweep default.
+const endpointGrainFloor = 1024
 
-// optimalSinglePointPrefix is the inner loop shared with the greedy attack,
-// which already holds a Prefix for the current (partially poisoned) set.
-// The scan over neighbour pairs is chunked across the exec's worker pool;
-// each chunk reduces locally and the chunk results fold in index order.
-func optimalSinglePointPrefix(pre *regression.Prefix, ex exec) (SinglePointResult, error) {
-	ks := pre.Set()
-	res := SinglePointResult{CleanLoss: pre.CleanLoss(), PoisonedLoss: -1}
-	grain := engine.GrainFor(ks.Len()-1, ex.pool)
-	if grain < endpointGrainFloor {
-		grain = endpointGrainFloor
-	}
-	chunks, err := engine.MapChunks(ex.ctx, ex.pool, ks.Len()-1, grain,
-		func(clo, chi int) (candidateBest, error) {
-			b := candidateBest{loss: -1}
-			for i := clo; i < chi; i++ {
-				lo, hi := ks.At(i)+1, ks.At(i+1)-1
-				if lo > hi {
-					continue // no gap between these neighbours
-				}
-				pos := i + 1 // keys strictly smaller than any key in this gap
-				if l := pre.PoisonedLoss(lo, pos); l > b.loss {
-					b.key, b.rank, b.loss = lo, pos+1, l
-				}
-				b.candidates++
-				if hi != lo {
-					if l := pre.PoisonedLoss(hi, pos); l > b.loss {
-						b.key, b.rank, b.loss = hi, pos+1, l
-					}
-					b.candidates++
-				}
+// endpointScan is the optimal single-point inner loop bound to one Prefix:
+// the chunk callback and the chunk-result buffer are allocated once per
+// attack, not once per step, so the greedy loop — which runs one scan per
+// inserted key — reaches a zero-allocation steady state. run() re-reads the
+// Prefix's (possibly mutable) key view each call, so the same scan instance
+// stays valid across kernel Inserts.
+type endpointScan struct {
+	pre *regression.Prefix
+	ks  keys.Set // view refreshed by run(); read-only during a scan
+	buf []candidateBest
+	fn  func(clo, chi int) (candidateBest, error)
+}
+
+func newEndpointScan(pre *regression.Prefix) *endpointScan {
+	s := &endpointScan{pre: pre}
+	s.fn = s.chunk // bind the method value once; a per-call closure would allocate
+	return s
+}
+
+// chunk scans neighbour pairs [clo, chi) and reduces them locally; chunk
+// results fold in index order (foldBest), preserving the sequential
+// tie-break contract.
+func (s *endpointScan) chunk(clo, chi int) (candidateBest, error) {
+	ks := s.ks
+	b := candidateBest{loss: -1}
+	for i := clo; i < chi; i++ {
+		lo, hi := ks.At(i)+1, ks.At(i+1)-1
+		if lo > hi {
+			continue // no gap between these neighbours
+		}
+		pos := i + 1 // keys strictly smaller than any key in this gap
+		if l := s.pre.PoisonedLoss(lo, pos); l > b.loss {
+			b.key, b.rank, b.loss = lo, pos+1, l
+		}
+		b.candidates++
+		if hi != lo {
+			if l := s.pre.PoisonedLoss(hi, pos); l > b.loss {
+				b.key, b.rank, b.loss = hi, pos+1, l
 			}
-			return b, nil
-		})
+			b.candidates++
+		}
+	}
+	return b, nil
+}
+
+// run executes one chunked endpoint scan across the exec's worker pool.
+func (s *endpointScan) run(ex exec) (SinglePointResult, error) {
+	s.ks = s.pre.Set()
+	res := SinglePointResult{CleanLoss: s.pre.CleanLoss(), PoisonedLoss: -1}
+	grain := engine.GrainForMin(s.ks.Len()-1, ex.pool, endpointGrainFloor)
+	chunks, err := engine.MapChunksInto(ex.ctx, ex.pool, s.ks.Len()-1, grain, s.buf, s.fn)
+	s.buf = chunks
 	if err != nil {
 		return SinglePointResult{}, err
 	}
@@ -226,6 +247,19 @@ func (g GreedyResult) RatioLoss() float64 { return SafeRatio(g.FinalLoss(), g.Cl
 // truncated rather than failing: the attacker simply has nowhere left to
 // inject, which the RMI volume allocator must be able to observe.
 //
+// This is the repository's hottest loop, and it runs on the incremental
+// attack kernel: the key set and the regression moments live in mutable,
+// capacity-reserved storage (keys.MutableSet + regression.NewPrefixMutable)
+// and absorb each chosen key in place, so a greedy step costs one candidate
+// scan plus memmove-class updates — no per-step set copy, no O(n) prefix
+// rebuild, and zero allocations after setup. The kernel's exact integer
+// moments guarantee every chosen key, loss, and trajectory entry is
+// bit-identical to rebuilding the prefix state from scratch each step (see
+// DESIGN.md §2, "Incremental kernel invariants"; where the pre-kernel
+// float64 accumulators had already lost exactness — sums beyond 2⁵³ —
+// values can differ from THAT implementation in final ulps, in the exact
+// arithmetic's favor).
+//
 // The per-step candidate scan parallelizes across WithWorkers(n) workers;
 // the chosen keys, trajectory, and all losses are identical for every
 // worker count (index-ordered reduction — see internal/engine).
@@ -236,7 +270,8 @@ func GreedyMultiPoint(ks keys.Set, p int, opts ...Option) (GreedyResult, error) 
 	if ks.Len() < 2 {
 		return GreedyResult{}, ErrTooFew
 	}
-	pre, err := regression.NewPrefix(ks)
+	mut := keys.NewMutable(ks, p)
+	pre, err := regression.NewPrefixMutable(mut)
 	if err != nil {
 		return GreedyResult{}, err
 	}
@@ -246,8 +281,9 @@ func GreedyMultiPoint(ks keys.Set, p int, opts ...Option) (GreedyResult, error) 
 		Poisoned:  ks,
 	}
 	current := res.CleanLoss
+	scan := newEndpointScan(pre)
 	for j := 0; j < p; j++ {
-		step, err := optimalSinglePointPrefix(pre, ex)
+		step, err := scan.run(ex)
 		if errors.Is(err, ErrNoGap) {
 			res.Truncated = true
 			break
@@ -260,17 +296,18 @@ func GreedyMultiPoint(ks keys.Set, p int, opts ...Option) (GreedyResult, error) 
 			break
 		}
 		current = step.PoisonedLoss
-		next, ok := res.Poisoned.Insert(step.Key)
-		if !ok {
-			return GreedyResult{}, fmt.Errorf("core: internal error: chosen poison key %d already present", step.Key)
+		if _, err := pre.Insert(step.Key); err != nil {
+			return GreedyResult{}, fmt.Errorf("core: internal error inserting chosen poison key: %w", err)
 		}
-		res.Poisoned = next
+		if res.Poison == nil {
+			res.Poison = make([]int64, 0, p)
+			res.Trajectory = make([]float64, 0, p)
+		}
 		res.Poison = append(res.Poison, step.Key)
 		res.Trajectory = append(res.Trajectory, step.PoisonedLoss)
-		pre, err = regression.NewPrefix(res.Poisoned)
-		if err != nil {
-			return GreedyResult{}, err
-		}
+	}
+	if len(res.Poison) > 0 {
+		res.Poisoned = mut.Freeze()
 	}
 	return res, nil
 }

@@ -74,7 +74,10 @@ func ctxErr(ctx context.Context) error {
 // Map runs fn(i) for every i in [0, n) on the pool and returns the results
 // in index order. With a sequential pool, tasks run inline in increasing
 // index order — exactly the historical single-threaded loops this package
-// replaces. With a parallel pool, tasks are claimed from an atomic cursor.
+// replaces. With a parallel pool, tasks are claimed from an atomic cursor
+// by the calling goroutine plus up to workers−1 helpers borrowed from a
+// persistent package-level pool (see job), so a Map call costs no goroutine
+// spawns.
 //
 // The first error (by task index, matching what a sequential run would have
 // reported) aborts the map; remaining tasks are skipped once it is observed.
@@ -84,6 +87,14 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) 
 		return nil, ctxErr(ctx)
 	}
 	out := make([]T, n)
+	if err := mapInto(ctx, p, n, out, fn); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mapInto is Map writing into a caller-provided slice (len(out) >= n).
+func mapInto[T any](ctx context.Context, p *Pool, n int, out []T, fn func(i int) (T, error)) error {
 	workers := p.Workers()
 	if workers > n {
 		workers = n
@@ -91,20 +102,18 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctxErr(ctx); err != nil {
-				return nil, err
+				return err
 			}
 			v, err := fn(i)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out[i] = v
 		}
-		return out, nil
+		return nil
 	}
 
 	var (
-		cursor int64 = -1 // next task = atomic add
-		stop   int32      // set once a worker sees an error/cancellation
 		mu     sync.Mutex
 		errIdx = n // lowest failing task index seen so far
 		first  error
@@ -115,39 +124,120 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) 
 			errIdx, first = i, err
 		}
 		mu.Unlock()
-		atomic.StoreInt32(&stop, 1)
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	j := &job{n: int64(n), done: make(chan struct{})}
+	j.fn = func(i int) bool {
+		if err := ctxErr(ctx); err != nil {
+			record(-1, err) // cancellation outranks any task error
+			return false
+		}
+		v, err := fn(i)
+		if err != nil {
+			record(i, err)
+			return false
+		}
+		out[i] = v
+		return true
+	}
+	j.submit(workers - 1)
+	return first
+}
+
+// A job is one parallel map invocation's shared work state. Task indices
+// are handed out by an atomic cursor; the submitting goroutine always
+// participates, and idle helpers from the package-level pool join via
+// tokens. Because the submitter alone is sufficient for progress, nested
+// parallel maps (Algorithm 2's per-segment phases running parallel inner
+// scans) can never deadlock, no matter how busy the helpers are.
+type job struct {
+	fn     func(i int) bool // false poisons the cursor (error or cancellation)
+	n      int64
+	cursor atomic.Int64
+	// state packs a "closed" gate bit with the count of helpers currently
+	// inside run(). The submitter closes the gate after its own run()
+	// returns, then waits for the count to drain, so fn — a closure over
+	// the submitter's stack — is never invoked after the map returns.
+	state atomic.Int64
+	done  chan struct{} // closed by the last helper to leave a closed job
+}
+
+// jobClosed is the gate bit in job.state.
+const jobClosed = int64(1) << 62
+
+var (
+	helperOnce   sync.Once
+	helperTokens chan *job
+)
+
+// startHelpers parks one helper goroutine per core, once per process.
+// Attack loops issue one short Map per greedy step — thousands per sweep —
+// and spawning fresh goroutines for each was measurable allocation and
+// latency; a parked helper costs one channel send to recruit.
+func startHelpers() {
+	helperTokens = make(chan *job, 1024)
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
 		go func() {
-			defer wg.Done()
-			for {
-				if atomic.LoadInt32(&stop) != 0 {
-					return
-				}
-				if err := ctxErr(ctx); err != nil {
-					record(-1, err) // cancellation outranks any task error
-					return
-				}
-				i := int(atomic.AddInt64(&cursor, 1))
-				if i >= n {
-					return
-				}
-				v, err := fn(i)
-				if err != nil {
-					record(i, err)
-					return
-				}
-				out[i] = v
+			for j := range helperTokens {
+				j.help()
 			}
 		}()
 	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
+}
+
+// help joins the job unless its gate already closed (a stale token).
+func (j *job) help() {
+	for {
+		s := j.state.Load()
+		if s&jobClosed != 0 {
+			return
+		}
+		if j.state.CompareAndSwap(s, s+1) {
+			break
+		}
 	}
-	return out, nil
+	j.run()
+	if j.state.Add(-1) == jobClosed {
+		close(j.done) // gate closed and this was the last helper out
+	}
+}
+
+// run claims and executes tasks until the cursor is exhausted or poisoned.
+func (j *job) run() {
+	for {
+		i := j.cursor.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		if !j.fn(int(i)) {
+			j.cursor.Store(j.n) // poison: everyone else's next claim exits
+			return
+		}
+	}
+}
+
+// submit recruits up to extra helpers, works the job on the calling
+// goroutine, and returns only when every participant has left the job.
+func (j *job) submit(extra int) {
+	helperOnce.Do(startHelpers)
+recruit:
+	for i := 0; i < extra; i++ {
+		select {
+		case helperTokens <- j:
+		default:
+			break recruit // buffer full: caller still finishes the job alone
+		}
+	}
+	j.run()
+	for {
+		s := j.state.Load()
+		if j.state.CompareAndSwap(s, s|jobClosed) {
+			if s == 0 {
+				return // no helper inside; done will never be closed
+			}
+			break
+		}
+	}
+	<-j.done
 }
 
 // MapChunks partitions [0, n) into contiguous chunks of at most grain
@@ -160,14 +250,55 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) 
 // contract: callers scan [lo, hi) in increasing order and reduce chunk
 // results in chunk order, which composes to the full sequential scan.
 func MapChunks[T any](ctx context.Context, p *Pool, n, grain int, fn func(lo, hi int) (T, error)) ([]T, error) {
+	out, err := MapChunksInto(ctx, p, n, grain, nil, fn)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapChunksInto is MapChunks with a caller-provided result buffer, reused
+// when its capacity suffices and grown otherwise; it returns the buffer
+// actually used. High-frequency scans — the greedy attack runs one chunked
+// candidate scan per inserted key — hold one buffer across calls and reach
+// a zero-allocation steady state (see DESIGN.md §3, "Allocation budget").
+// On error the returned buffer is still valid for reuse but its contents
+// are meaningless.
+func MapChunksInto[T any](ctx context.Context, p *Pool, n, grain int, buf []T, fn func(lo, hi int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, ctxErr(ctx)
+		return buf[:0], ctxErr(ctx)
 	}
 	if grain < 1 {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
-	return Map(ctx, p, chunks, func(c int) (T, error) {
+	if cap(buf) < chunks {
+		buf = make([]T, chunks)
+	} else {
+		buf = buf[:chunks]
+	}
+	if p.Workers() == 1 || chunks == 1 {
+		// Inline sequential loop: the adapter closure below would escape and
+		// cost one heap allocation per call, which is exactly what the
+		// buffer-reusing callers are here to avoid.
+		for c := 0; c < chunks; c++ {
+			if err := ctxErr(ctx); err != nil {
+				return buf, err
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			v, err := fn(lo, hi)
+			if err != nil {
+				return buf, err
+			}
+			buf[c] = v
+		}
+		return buf, nil
+	}
+	err := mapInto(ctx, p, chunks, buf, func(c int) (T, error) {
 		lo := c * grain
 		hi := lo + grain
 		if hi > n {
@@ -175,6 +306,7 @@ func MapChunks[T any](ctx context.Context, p *Pool, n, grain int, fn func(lo, hi
 		}
 		return fn(lo, hi)
 	})
+	return buf, err
 }
 
 // GrainFor returns a chunk size that splits n indices into roughly 16
@@ -186,6 +318,19 @@ func GrainFor(n int, p *Pool) int {
 	g := n / (16 * p.Workers())
 	if g < 1 {
 		g = 1
+	}
+	return g
+}
+
+// GrainForMin is GrainFor clamped up to floor. The incremental attack
+// kernel made per-candidate work a handful of float operations, so scans
+// over candidates need coarser chunks than GrainFor's default before
+// scheduling overhead stops mattering; callers state their floor here
+// instead of open-coding the clamp.
+func GrainForMin(n int, p *Pool, floor int) int {
+	g := GrainFor(n, p)
+	if g < floor {
+		g = floor
 	}
 	return g
 }

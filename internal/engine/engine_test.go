@@ -180,6 +180,138 @@ func TestMapDeterministicFloatReduction(t *testing.T) {
 	}
 }
 
+func TestMapChunksIntoReusesBuffer(t *testing.T) {
+	buf := make([]int, 8)
+	out, err := MapChunksInto(context.Background(), New(2), 40, 10, buf,
+		func(lo, hi int) (int, error) { return hi - lo, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || cap(out) != 8 {
+		t.Fatalf("len/cap = %d/%d, want 4/8 (buffer not reused)", len(out), cap(out))
+	}
+	for _, v := range out {
+		if v != 10 {
+			t.Fatalf("chunk sizes %v", out)
+		}
+	}
+	// Under-sized buffer grows.
+	out2, err := MapChunksInto(context.Background(), New(1), 100, 10, out,
+		func(lo, hi int) (int, error) { return lo, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 10 {
+		t.Fatalf("grown len = %d, want 10", len(out2))
+	}
+	for i, v := range out2 {
+		if v != i*10 {
+			t.Fatalf("out2[%d] = %d", i, v)
+		}
+	}
+	// n <= 0 returns an empty view of the buffer.
+	empty, err := MapChunksInto(context.Background(), New(1), 0, 10, out2,
+		func(lo, hi int) (int, error) { return 0, nil })
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("n=0: (%v, %v)", empty, err)
+	}
+}
+
+// TestMapChunksIntoSteadyStateZeroAlloc: repeated scans with a threaded
+// buffer — the greedy attack's per-step pattern — must not allocate on a
+// sequential pool.
+func TestMapChunksIntoSteadyStateZeroAlloc(t *testing.T) {
+	p := New(1)
+	ctx := context.Background()
+	buf := make([]float64, 0, 64)
+	sink := 0.0
+	allocs := testing.AllocsPerRun(10, func() {
+		out, err := MapChunksInto(ctx, p, 10_000, 256, buf,
+			func(lo, hi int) (float64, error) { return float64(hi - lo), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+		sink += out[0]
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state MapChunksInto allocated %v times", allocs)
+	}
+	_ = sink
+}
+
+// TestNestedParallelMaps guards the deadlock-freedom claim of the helper
+// pool: inner parallel maps run while every helper may be busy with outer
+// tasks, because the submitting goroutine always participates.
+func TestNestedParallelMaps(t *testing.T) {
+	outer := New(4)
+	inner := New(4)
+	got, err := Map(context.Background(), outer, 16, func(i int) (int, error) {
+		vals, err := Map(context.Background(), inner, 100, func(j int) (int, error) {
+			return i * j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		s := 0
+		for _, v := range vals {
+			s += v
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := i * 4950; v != want {
+			t.Fatalf("got[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestConcurrentIndependentMaps stresses many simultaneous jobs sharing the
+// helper pool.
+func TestConcurrentIndependentMaps(t *testing.T) {
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			for rep := 0; rep < 20; rep++ {
+				vals, err := Map(context.Background(), New(3), 50, func(i int) (int, error) {
+					return g*1000 + i, nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, v := range vals {
+					if v != g*1000+i {
+						errs <- fmt.Errorf("goroutine %d rep %d: vals[%d] = %d", g, rep, i, v)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGrainForMin(t *testing.T) {
+	p := New(4)
+	if g := GrainForMin(100, p, 512); g != 512 {
+		t.Fatalf("GrainForMin small n = %d, want the floor 512", g)
+	}
+	if g := GrainForMin(1_000_000, p, 512); g != 1_000_000/(16*4) {
+		t.Fatalf("GrainForMin large n = %d, want GrainFor value", g)
+	}
+}
+
 func BenchmarkEngineMapOverhead(b *testing.B) {
 	ctx := context.Background()
 	for _, workers := range []int{1, 4} {

@@ -162,6 +162,22 @@ func (s Set) Insert(k int64) (Set, bool) {
 	return Set{ks: out}, true
 }
 
+// Remove returns a new Set without k. If k is absent ok is false and the
+// receiver is returned unchanged. The receiver is never mutated; the survivor
+// keys are produced by one copy around the removed position — no re-sort, no
+// re-validation — because deleting from a sorted duplicate-free slice cannot
+// break either invariant.
+func (s Set) Remove(k int64) (Set, bool) {
+	i := s.CountLess(k)
+	if i >= len(s.ks) || s.ks[i] != k {
+		return s, false
+	}
+	out := make([]int64, len(s.ks)-1)
+	copy(out, s.ks[:i])
+	copy(out[i:], s.ks[i+1:])
+	return Set{ks: out}, true
+}
+
 // Union returns the union of s and other (both already duplicate-free).
 func (s Set) Union(other Set) Set {
 	out := make([]int64, 0, len(s.ks)+len(other.ks))

@@ -1,0 +1,112 @@
+package regression
+
+// The incremental attack kernel: Algorithm 1 historically paid three O(n)
+// passes per greedy step — a copy-on-insert of the key set, a from-scratch
+// NewPrefix rebuild, and the allocations backing both. Insert collapses a
+// step to O(1) moment updates plus two memmove-class passes over
+// pre-reserved storage, with zero allocations after setup.
+//
+// Why this cannot change a single output bit: the moments are exact
+// integers (see the Prefix type comment), so the state Insert produces is
+// the same mathematical — and therefore the same machine — value NewPrefix
+// computes from scratch on the augmented set. The differential property and
+// fuzz tests in incremental_test.go pin that equivalence bit-for-bit at
+// every step of random insertion sequences.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// u128 is an unsigned 128-bit integer accumulator for the second-order
+// moments Σx² and Σx·r, whose exact values overflow int64 at large key
+// spans. With Σx guarded to fit int64 (ErrRange), both second-order sums
+// are bounded by 2⁶³·2⁶³ = 2¹²⁶ and can never overflow u128.
+type u128 struct{ hi, lo uint64 }
+
+// u128Mul returns a×b as a u128.
+func u128Mul(a, b uint64) u128 {
+	hi, lo := bits.Mul64(a, b)
+	return u128{hi, lo}
+}
+
+// add returns a+b, ignoring (impossible, see type comment) overflow.
+func (a u128) add(b u128) u128 {
+	lo, carry := bits.Add64(a.lo, b.lo, 0)
+	hi, _ := bits.Add64(a.hi, b.hi, carry)
+	return u128{hi, lo}
+}
+
+// addU64 returns a+v.
+func (a u128) addU64(v uint64) u128 { return a.add(u128{0, v}) }
+
+// float converts to float64. Values below 2⁵³ (every shipped experiment
+// scale) convert exactly; larger values round deterministically, and both
+// the incremental and the from-scratch path hold the same integer, so they
+// round identically.
+func (a u128) float() float64 {
+	if a.hi == 0 {
+		return float64(a.lo)
+	}
+	return float64(a.hi)*0x1p64 + float64(a.lo)
+}
+
+// Insert adds the poisoning key kp to the kernel in place: the underlying
+// mutable key set absorbs kp with one memmove, the scalar moments update in
+// O(1), and the suffix sums update with one memmove plus one vectorizable
+// add-constant pass — no allocation as long as the reserve NewMutable set
+// aside has room. It returns the 0-based position kp took.
+//
+// Requirements (all returned as errors, never silently mis-accounted):
+// the Prefix must come from NewPrefixMutable; kp must be absent; kp must be
+// greater than the set minimum so the centering origin is stable — the
+// paper's attacks only ever insert strictly interior keys, so the
+// constraint is free; and the new Σx must still fit int64 (ErrRange).
+func (p *Prefix) Insert(kp int64) (pos int, err error) {
+	if p.mut == nil {
+		return 0, fmt.Errorf("regression: Insert on an immutable Prefix (build with NewPrefixMutable)")
+	}
+	if kp <= p.origin {
+		return 0, fmt.Errorf("regression: Insert key %d not above the origin %d", kp, p.origin)
+	}
+	rank, free := p.mut.InsertedRank(kp)
+	if !free {
+		return 0, fmt.Errorf("regression: Insert key %d already present", kp)
+	}
+	pos = rank - 1
+	xp := kp - p.origin
+	if p.sumX > math.MaxInt64-xp {
+		return 0, ErrRange
+	}
+	if _, ok := p.mut.Insert(kp); !ok {
+		return 0, fmt.Errorf("regression: mutable set rejected key %d", kp)
+	}
+
+	n := p.n
+	// The keys at positions >= pos each gain one unit of rank; their key sum
+	// is the old sufX[pos], the exact term the rank shift adds to Σx·r.
+	shifted := p.sufX[pos]
+
+	// Suffix sums: entries above pos slide right one slot (they cover the
+	// same key suffixes as before), entries at and below pos gain xp (their
+	// suffixes now contain kp). Both passes are exact integer arithmetic,
+	// so the result equals the from-scratch suffix scan bit-for-bit.
+	if cap(p.sufX) > n+1 {
+		p.sufX = p.sufX[:n+2]
+	} else {
+		p.sufX = append(p.sufX, 0) // reserve exhausted: pay growth once
+	}
+	copy(p.sufX[pos+1:], p.sufX[pos:n+1])
+	for i := 0; i <= pos; i++ {
+		p.sufX[i] += xp
+	}
+
+	uxp := uint64(xp)
+	p.sumX += xp
+	p.sumXX = p.sumXX.add(u128Mul(uxp, uxp))
+	p.sumXR = p.sumXR.add(u128Mul(uxp, uint64(pos+1))).addU64(uint64(shifted))
+	p.n = n + 1
+	p.ks = p.mut.View()
+	return pos, nil
+}

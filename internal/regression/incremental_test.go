@@ -1,0 +1,284 @@
+package regression
+
+import (
+	"math"
+	"testing"
+
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+// freshPrefix rebuilds a Prefix from scratch on an independent copy of the
+// mutable set's current content — the reference the incremental kernel must
+// match bit-for-bit.
+func freshPrefix(t testing.TB, m *keys.MutableSet) *Prefix {
+	t.Helper()
+	p, err := NewPrefix(m.Freeze())
+	if err != nil {
+		t.Fatalf("fresh NewPrefix: %v", err)
+	}
+	return p
+}
+
+// assertPrefixBitIdentical compares every observable of the incremental and
+// the from-scratch kernel with == (no tolerance): clean loss, a full sweep
+// of candidate losses, and full candidate models. This is the central
+// guarantee that lets GreedyMultiPoint skip the per-step rebuild.
+func assertPrefixBitIdentical(t *testing.T, inc, fresh *Prefix) {
+	t.Helper()
+	if inc.N() != fresh.N() {
+		t.Fatalf("N: %d != %d", inc.N(), fresh.N())
+	}
+	if cl, fl := inc.CleanLoss(), fresh.CleanLoss(); cl != fl {
+		t.Fatalf("CleanLoss: %v != %v (diff %g)", cl, fl, cl-fl)
+	}
+	ks := fresh.Set()
+	for i := 0; i+1 < ks.Len(); i++ {
+		lo, hi := ks.At(i)+1, ks.At(i+1)-1
+		if lo > hi {
+			continue
+		}
+		pos := i + 1
+		for _, kp := range []int64{lo, hi, (lo + hi) / 2} {
+			if li, lf := inc.PoisonedLoss(kp, pos), fresh.PoisonedLoss(kp, pos); li != lf {
+				t.Fatalf("PoisonedLoss(%d, %d): %v != %v (diff %g)", kp, pos, li, lf, li-lf)
+			}
+			mi, mf := inc.PoisonedModel(kp, pos), fresh.PoisonedModel(kp, pos)
+			if mi != mf {
+				t.Fatalf("PoisonedModel(%d, %d): %+v != %+v", kp, pos, mi, mf)
+			}
+		}
+	}
+}
+
+// randomMutable draws a random sparse set sized for repeated insertion.
+func randomMutable(rng *xrand.RNG, minN, maxN int, domain int64, reserve int) *keys.MutableSet {
+	n := minN + rng.Intn(maxN-minN+1)
+	s, err := keys.New(xrand.SampleInt64s(rng, n, domain))
+	if err != nil {
+		panic(err)
+	}
+	return keys.NewMutable(s, reserve)
+}
+
+// TestPrefixInsertMatchesFreshRebuild is the differential property test of
+// the incremental kernel: random insert sequences through Prefix.Insert
+// must leave the kernel bit-identical — losses AND models — to a
+// from-scratch NewPrefix on the augmented set, at every step.
+func TestPrefixInsertMatchesFreshRebuild(t *testing.T) {
+	rng := xrand.New(515)
+	for trial := 0; trial < 40; trial++ {
+		const reserve = 12
+		m := randomMutable(rng, 5, 60, 4000, reserve)
+		inc, err := NewPrefixMutable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < reserve; step++ {
+			// Pick a random free interior key.
+			view := m.View()
+			span := view.Max() - view.Min()
+			if span <= 1 {
+				break
+			}
+			kp := view.Min() + 1 + rng.Int63n(span-1)
+			if _, free := view.InsertedRank(kp); !free {
+				continue
+			}
+			wantPos := view.CountLess(kp)
+			pos, err := inc.Insert(kp)
+			if err != nil {
+				t.Fatalf("trial %d step %d: Insert(%d): %v", trial, step, kp, err)
+			}
+			if pos != wantPos {
+				t.Fatalf("Insert(%d) returned pos %d, want %d", kp, pos, wantPos)
+			}
+			assertPrefixBitIdentical(t, inc, freshPrefix(t, m))
+		}
+	}
+}
+
+// TestPrefixInsertLargeMagnitude drives the kernel where float64
+// accumulation would round (sums beyond 2⁵³): exact integer moments must
+// keep incremental == fresh bit-identical even there.
+func TestPrefixInsertLargeMagnitude(t *testing.T) {
+	rng := xrand.New(77)
+	base := int64(1) << 40
+	raw := make([]int64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		raw = append(raw, base+rng.Int63n(1<<22))
+	}
+	s, err := keys.New(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := keys.NewMutable(s, 8)
+	inc, err := NewPrefixMutable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 8; step++ {
+		view := m.View()
+		kp := view.Min() + 1 + rng.Int63n(view.Max()-view.Min()-1)
+		if _, free := view.InsertedRank(kp); !free {
+			continue
+		}
+		if _, err := inc.Insert(kp); err != nil {
+			t.Fatal(err)
+		}
+		assertPrefixBitIdentical(t, inc, freshPrefix(t, m))
+	}
+}
+
+// TestPrefixInsertZeroAllocSteadyState: after setup, Insert within the
+// reserve must not allocate — the kernel's headline contract.
+func TestPrefixInsertZeroAllocSteadyState(t *testing.T) {
+	s, err := keys.New(xrand.SampleInt64s(xrand.New(9), 2000, 1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AllocsPerRun calls the function once extra as warm-up, so reserve two
+	// batches of inserts.
+	const batch = 50
+	m := keys.NewMutable(s, 2*batch)
+	inc, err := NewPrefixMutable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(10)
+	allocs := testing.AllocsPerRun(1, func() {
+		for inserted := 0; inserted < batch; {
+			view := m.View()
+			kp := view.Min() + 1 + rng.Int63n(view.Max()-view.Min()-1)
+			if _, free := view.InsertedRank(kp); !free {
+				continue
+			}
+			if _, err := inc.Insert(kp); err != nil {
+				t.Fatal(err)
+			}
+			inserted++
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Insert allocated %v times inside the reserve", allocs)
+	}
+}
+
+func TestPrefixInsertRejections(t *testing.T) {
+	s, _ := keys.New([]int64{10, 20, 30, 40})
+	m := keys.NewMutable(s, 4)
+	inc, err := NewPrefixMutable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Insert(20); err == nil {
+		t.Fatal("present key accepted")
+	}
+	if _, err := inc.Insert(10); err == nil {
+		t.Fatal("origin key accepted")
+	}
+	if _, err := inc.Insert(5); err == nil {
+		t.Fatal("below-origin key accepted (origin would shift)")
+	}
+	imm, err := NewPrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := imm.Insert(25); err == nil {
+		t.Fatal("immutable Prefix accepted Insert")
+	}
+	// Rejections must leave the kernel untouched.
+	if _, err := inc.Insert(25); err != nil {
+		t.Fatal(err)
+	}
+	assertPrefixBitIdentical(t, inc, freshPrefix(t, m))
+}
+
+// TestPrefixInsertBeyondReserve: exhausting the reserve degrades to growth,
+// never to corruption.
+func TestPrefixInsertBeyondReserve(t *testing.T) {
+	s, _ := keys.New([]int64{0, 1000})
+	m := keys.NewMutable(s, 1)
+	inc, err := NewPrefixMutable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kp := range []int64{500, 250, 750, 125} {
+		if _, err := inc.Insert(kp); err != nil {
+			t.Fatalf("Insert(%d): %v", kp, err)
+		}
+		assertPrefixBitIdentical(t, inc, freshPrefix(t, m))
+	}
+}
+
+func TestNewPrefixRangeGuard(t *testing.T) {
+	// Two keys spanning nearly the whole int64 range: Σx fits (one term),
+	// three such keys must trip ErrRange deterministically rather than
+	// silently overflow.
+	huge := int64(math.MaxInt64) - 1
+	s, err := keys.New([]int64{0, huge - 1, huge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPrefix(s); err != ErrRange {
+		t.Fatalf("want ErrRange, got %v", err)
+	}
+	// And Insert must guard the same bound.
+	s2, _ := keys.New([]int64{0, huge})
+	m := keys.NewMutable(s2, 2)
+	inc, err := NewPrefixMutable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Insert(huge - 1); err != ErrRange {
+		t.Fatalf("Insert overflow: want ErrRange, got %v", err)
+	}
+	// The failed Insert must not have mutated anything.
+	assertPrefixBitIdentical(t, inc, freshPrefix(t, m))
+}
+
+// FuzzPrefixInsert feeds arbitrary byte strings as insert sequences: each
+// pair of bytes selects a candidate key; valid inserts must keep the
+// incremental kernel bit-identical to the from-scratch rebuild.
+func FuzzPrefixInsert(f *testing.F) {
+	f.Add(uint64(1), []byte{0x00, 0x10, 0x80, 0xFF, 0x42, 0x07})
+	f.Add(uint64(42), []byte{0xAA, 0xBB, 0xCC})
+	f.Add(uint64(7), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		rng := xrand.New(seed%1024 + 1)
+		m := randomMutable(rng, 4, 40, 2000, len(script)/2+1)
+		inc, err := NewPrefixMutable(m)
+		if err != nil {
+			t.Skip()
+		}
+		for i := 0; i+1 < len(script); i += 2 {
+			view := m.View()
+			span := view.Max() - view.Min()
+			if span <= 1 {
+				break
+			}
+			off := (int64(script[i])<<8 | int64(script[i+1])) % (span - 1)
+			kp := view.Min() + 1 + off
+			if _, free := view.InsertedRank(kp); !free {
+				continue
+			}
+			if _, err := inc.Insert(kp); err != nil {
+				t.Fatalf("Insert(%d): %v", kp, err)
+			}
+			fresh, err := NewPrefix(m.Freeze())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.CleanLoss() != fresh.CleanLoss() {
+				t.Fatalf("CleanLoss diverged after Insert(%d): %v != %v",
+					kp, inc.CleanLoss(), fresh.CleanLoss())
+			}
+			if l, ok := inc.PoisonedLossAuto(kp + 1); ok {
+				lf, _ := fresh.PoisonedLossAuto(kp + 1)
+				if l != lf {
+					t.Fatalf("PoisonedLossAuto diverged: %v != %v", l, lf)
+				}
+			}
+		}
+	})
+}

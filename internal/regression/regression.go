@@ -169,36 +169,85 @@ func FitXY(x, y []float64) (Line, error) {
 // realized with exact per-candidate formulas instead of running discrete
 // derivatives, which is equally fast and immune to drift across gap
 // boundaries.
+//
+// Numerical design, second layer (see DESIGN.md §2, "Incremental kernel
+// invariants"): all moments are accumulated in EXACT integer arithmetic —
+// sumX and the suffix sums in int64, the second-order sums in 128-bit — and
+// converted to float64 only at evaluation time. Centered keys are integers,
+// so every moment is an integer, and integer addition is associative: the
+// state after Insert (the incremental kernel) is bit-identical to the state
+// NewPrefix would build from scratch on the augmented set, for any insertion
+// order and at any magnitude. That identity is what lets the greedy attack
+// skip the per-step O(n) rebuild without perturbing a single output bit
+// relative to a rebuild (property-tested in incremental_test.go).
+//
+// Relative to the HISTORICAL float64 accumulators the comparison is scoped:
+// wherever float64 accumulation never rounded (all partial sums below 2⁵³,
+// which covers every quick-scale experiment and recorded CSV fingerprint in
+// EXPERIMENTS.md), the evaluated losses are bit-identical to the old
+// implementation. At larger products — e.g. Σx² ≈ 3.3×10¹⁸ for the n=10⁵,
+// span-10⁷ acceptance dataset — the old float64 sums had already rounded,
+// order-sensitively; the exact sums differ from them in the final ulps
+// (and are the correctly-rounded values).
 type Prefix struct {
 	origin int64
 	n      int
-	sumX   float64
-	sumXX  float64
-	sumXR  float64
+	sumX   int64 // Σ x_i, exact (guarded against int64 overflow)
+	sumXX  u128  // Σ x_i², exact
+	sumXR  u128  // Σ x_i·r_i, exact
 	// sufX[i] = Σ_{j >= i} x_j (0-based positions), sufX[n] = 0. When a
 	// poisoning key lands at position i (i keys strictly smaller), exactly
 	// the keys at positions i..n−1 gain one unit of rank, contributing
-	// sufX[i] to Σ x·r.
-	sufX []float64
+	// sufX[i] to Σ x·r. Entries are bounded by sumX, so int64 is safe
+	// wherever sumX is.
+	sufX []int64
 	ks   keys.Set
+	// mut is non-nil when the Prefix was built by NewPrefixMutable and owns
+	// an insertable key set; ks is then a live view of it (see Insert).
+	mut *keys.MutableSet
 }
+
+// ErrRange is returned when the centered key sum Σ(kᵢ−min) does not fit in
+// int64, the bound under which the exact kernel's accumulators cannot
+// overflow. Every dataset in this repository sits orders of magnitude below
+// it; hitting it means the key span × count product exceeds ~9.2×10¹⁸.
+var ErrRange = errors.New("regression: key span too large for the exact kernel (Σ centered keys exceeds int64)")
 
 // NewPrefix builds the O(1)-evaluation state for the key set.
 // The set must contain at least two keys to admit a meaningful regression.
 func NewPrefix(ks keys.Set) (*Prefix, error) {
+	return newPrefix(ks, nil, ks.Len())
+}
+
+// NewPrefixMutable builds the incremental attack kernel over a mutable key
+// set: the returned Prefix supports Insert, with suffix capacity reserved
+// for the set's spare capacity so that a greedy step never allocates. The
+// caller must not mutate m except through Prefix.Insert.
+func NewPrefixMutable(m *keys.MutableSet) (*Prefix, error) {
+	return newPrefix(m.View(), m, m.Cap())
+}
+
+// newPrefix accumulates the exact moments; sufCap reserves suffix-array
+// capacity for sufCap keys (≥ n), pre-paying Insert growth.
+func newPrefix(ks keys.Set, mut *keys.MutableSet, sufCap int) (*Prefix, error) {
 	n := ks.Len()
 	if n < 2 {
 		return nil, fmt.Errorf("regression: NewPrefix needs n >= 2, got %d", n)
 	}
-	p := &Prefix{origin: ks.Min(), n: n, ks: ks, sufX: make([]float64, n+1)}
+	p := &Prefix{origin: ks.Min(), n: n, ks: ks, mut: mut,
+		sufX: make([]int64, n+1, sufCap+1)}
 	for i := 0; i < n; i++ {
-		x := float64(ks.At(i) - p.origin)
+		x := ks.At(i) - p.origin // >= 0: keys are sorted
+		if p.sumX > math.MaxInt64-x {
+			return nil, ErrRange
+		}
 		p.sumX += x
-		p.sumXX += x * x
-		p.sumXR += x * float64(i+1)
+		ux := uint64(x)
+		p.sumXX = p.sumXX.add(u128Mul(ux, ux))
+		p.sumXR = p.sumXR.add(u128Mul(ux, uint64(i+1)))
 	}
 	for i := n - 1; i >= 0; i-- {
-		p.sufX[i] = p.sufX[i+1] + float64(ks.At(i)-p.origin)
+		p.sufX[i] = p.sufX[i+1] + (ks.At(i) - p.origin)
 	}
 	return p, nil
 }
@@ -206,15 +255,17 @@ func NewPrefix(ks keys.Set) (*Prefix, error) {
 // N returns the number of legitimate keys backing the prefix.
 func (p *Prefix) N() int { return p.n }
 
-// Set returns the key set backing the prefix.
+// Set returns the key set backing the prefix. For a mutable Prefix this is
+// a live view: it reflects Inserts and shares their backing array, so it is
+// only valid until the next Insert (snapshot with Clone if needed longer).
 func (p *Prefix) Set() keys.Set { return p.ks }
 
 // CleanLoss returns the MSE of the optimal regression on the unpoisoned set.
 func (p *Prefix) CleanLoss() float64 {
 	nf := float64(p.n)
-	mx := p.sumX / nf
-	mxx := p.sumXX / nf
-	mxr := p.sumXR / nf
+	mx := float64(p.sumX) / nf
+	mxx := p.sumXX.float() / nf
+	mxr := p.sumXR.float() / nf
 	mr := rankMean(p.n)
 	varX := mxx - mx*mx
 	cov := mxr - mx*mr
@@ -233,9 +284,9 @@ func (p *Prefix) PoisonedLoss(kp int64, pos int) float64 {
 	t := float64(pos + 1)
 	n1 := float64(p.n + 1)
 
-	sumX := p.sumX + xp
-	sumXX := p.sumXX + xp*xp
-	sumXR := p.sumXR + p.sufX[pos] + xp*t
+	sumX := float64(p.sumX) + xp
+	sumXX := p.sumXX.float() + xp*xp
+	sumXR := p.sumXR.float() + float64(p.sufX[pos]) + xp*t
 
 	mx := sumX / n1
 	mxx := sumXX / n1
@@ -273,9 +324,9 @@ func (p *Prefix) PoisonedModel(kp int64, pos int) Model {
 	t := float64(pos + 1)
 	n1 := float64(p.n + 1)
 
-	sumX := p.sumX + xp
-	sumXX := p.sumXX + xp*xp
-	sumXR := p.sumXR + p.sufX[pos] + xp*t
+	sumX := float64(p.sumX) + xp
+	sumXX := p.sumXX.float() + xp*xp
+	sumXR := p.sumXR.float() + float64(p.sufX[pos]) + xp*t
 
 	mx := sumX / n1
 	mxx := sumXX / n1
