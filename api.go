@@ -10,11 +10,14 @@ import (
 	"cdfpoison/internal/dataset"
 	"cdfpoison/internal/defense"
 	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/nn"
 	"cdfpoison/internal/pla"
 	"cdfpoison/internal/regression"
 	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/shard"
+	"cdfpoison/internal/workload"
 	"cdfpoison/internal/xrand"
 )
 
@@ -270,6 +273,111 @@ func OnlinePoisonAttack(initial KeySet, opts OnlineOptions, execOpts ...AttackOp
 	return core.OnlinePoisonAttack(initial, opts, execOpts...)
 }
 
+// ---------------------------------------------------------------------------
+// Index backends, sharding, workloads, and the serving scenario
+// ---------------------------------------------------------------------------
+
+// IndexBackend is the contract every index substrate serves through:
+// probe-counted Lookup/ProbeSum, policy-driven Insert, explicit Retrain,
+// and a uniform Stats surface. DynamicIndex, BTree, SingleModelIndex,
+// ShardedIndex, and GuardedBackend all satisfy it, and the scenarios
+// (OnlinePoisonAttack, ServeAttack) drive victims only through it.
+type IndexBackend = index.Backend
+
+// BackendLookupResult reports a probe-counted backend point query.
+type BackendLookupResult = index.LookupResult
+
+// BackendStats is the uniform backend summary.
+type BackendStats = index.Stats
+
+// BackendFactory builds a fresh backend over an initial key set; scenarios
+// call it once per index they need (victim + clean counterfactual).
+type BackendFactory = core.BackendFactory
+
+// ParseRetrainPolicy parses the policy spec syntax shared by the lispoison
+// online and serve subcommands: "manual", "every:K", or "buffer:K".
+func ParseRetrainPolicy(s string) (RetrainPolicy, error) { return dynamic.ParsePolicy(s) }
+
+// SingleModelIndex is the single-model (fanout-1) RMI path behind the
+// backend contract: a static learned index whose inserts are staged until
+// an explicit Retrain rebuilds the model — the paper's own victim shape.
+type SingleModelIndex = rmi.Single
+
+// NewSingleModelIndex builds the fanout-1 learned index over the keys.
+func NewSingleModelIndex(ks KeySet) (*SingleModelIndex, error) { return rmi.NewSingle(ks) }
+
+// ShardedIndex is a range-partitioned serving index: a router fitted over
+// the initial key CDF in front of independent dynamic shards. See
+// DESIGN.md §6 for the router invariants.
+type ShardedIndex = shard.Index
+
+// NewShardedIndex builds a sharded index over the initial keys: the router
+// is frozen at construction and each shard runs its own copy of the
+// retrain policy. Requires at least two initial keys per shard.
+func NewShardedIndex(ks KeySet, shards int, policy RetrainPolicy) (*ShardedIndex, error) {
+	return shard.New(ks, shards, policy)
+}
+
+// Workload parameterizes a deterministic read/write operation stream for
+// the serving scenario (reads by rank over the stored keys, uniform writes
+// over the key universe).
+type Workload = workload.Spec
+
+// WorkloadOp is one operation of a workload stream.
+type WorkloadOp = workload.Op
+
+// WorkloadGenerator produces a workload's deterministic operation stream.
+type WorkloadGenerator = workload.Generator
+
+// UniformWorkload reads every stored rank equally often; readPct is the
+// percentage of operations that are reads.
+func UniformWorkload(readPct float64) Workload { return workload.NewUniform(readPct) }
+
+// ZipfWorkload reads rank r with probability ∝ 1/r^theta — the classic
+// skewed-popularity serving mix.
+func ZipfWorkload(theta, readPct float64) Workload { return workload.NewZipf(theta, readPct) }
+
+// HotspotWorkload concentrates reads on a hot window covering hotPct
+// percent of the rank space — the adversarial mix.
+func HotspotWorkload(hotPct, readPct float64) Workload {
+	return workload.NewHotspot(hotPct, readPct)
+}
+
+// ParseWorkload parses the workload spec syntax of `lispoison serve`:
+// "uniform[:R]", "zipf[:T[:R]]", or "hotspot[:H[:R]]".
+func ParseWorkload(s string) (Workload, error) { return workload.ParseSpec(s) }
+
+// NewWorkloadGenerator builds the deterministic stream generator: reads
+// target initial by rank, writes are uniform over [0, domain).
+func NewWorkloadGenerator(w Workload, initial KeySet, domain int64, seed uint64) (*WorkloadGenerator, error) {
+	return workload.NewGenerator(w, initial, domain, seed)
+}
+
+// ServeOptions parameterizes ServeAttack.
+type ServeOptions = core.ServeOptions
+
+// ServeResult reports the serving scenario, one ServeEpochReport per epoch.
+type ServeResult = core.ServeResult
+
+// ServeEpochReport is one serving epoch's end state: loss ratios
+// (aggregate and per shard), probe totals over the epoch's reads, shard
+// imbalance, buffer depth, and retrain counts.
+type ServeEpochReport = core.ServeEpochReport
+
+// ServeShardReport is one shard's end-of-epoch state within an epoch
+// report.
+type ServeShardReport = core.ServeShardReport
+
+// ServeAttack mounts the attack-under-load scenario: an adversary with a
+// per-epoch key budget poisons a sharded serving index (NewShardedIndex)
+// while an honest population reads and writes it, tracked against a clean
+// counterfactual running the identical operation stream. WithParallelism
+// fans out the oracle scans and the read-probe evaluation without changing
+// any result byte.
+func ServeAttack(initial KeySet, opts ServeOptions, execOpts ...AttackOption) (ServeResult, error) {
+	return core.ServeAttack(initial, opts, execOpts...)
+}
+
 // PredictionOracle is query access to a deployed index's raw position
 // predictions — the observable of the black-box threat model.
 type PredictionOracle = blackbox.Oracle
@@ -405,4 +513,18 @@ func RangeFilter(ks KeySet, lo, hi int64) (kept, removed KeySet) {
 // density more than zThreshold standard deviations above the mean).
 func DensityFlagger(ks KeySet, window int, zThreshold float64) KeySet {
 	return defense.DensityFlagger(ks, window, zThreshold)
+}
+
+// GuardOptions tunes NewGuardedBackend's density screen.
+type GuardOptions = defense.GuardOptions
+
+// GuardedBackend is an online insert sanitizer wrapping any IndexBackend:
+// reads pass through, writes are screened by a local-density heuristic at
+// insert time. It is itself an IndexBackend, so guards compose with every
+// backend and every scenario.
+type GuardedBackend = defense.Guard
+
+// NewGuardedBackend wraps a backend with the density screen.
+func NewGuardedBackend(b IndexBackend, opts GuardOptions) *GuardedBackend {
+	return defense.NewGuard(b, opts)
 }

@@ -97,6 +97,36 @@ func ExampleOnlinePoisonAttack() {
 	// probe cost 4.04 -> 5.97
 }
 
+// Attacking a sharded serving index under honest load: the aggregate
+// ratio dilutes across shards while the hit shard compounds.
+func ExampleServeAttack() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 40_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cdfpoison.ServeAttack(ks, cdfpoison.ServeOptions{
+		Epochs:      4,
+		OpsPerEpoch: 200,
+		EpochBudget: 25,
+		Shards:      4,
+		Policy:      cdfpoison.RetrainManually(),
+		Workload:    cdfpoison.ZipfWorkload(1.1, 90),
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	fmt.Printf("epochs %d, poison keys %d, shards %d\n",
+		len(res.Epochs), res.Poison.Len(), res.Shards)
+	fmt.Printf("aggregate max %.1fx, worst shard %.1fx, imbalance %.2f\n",
+		res.MaxRatio(), res.MaxShardRatio(), last.Imbalance)
+	// Output:
+	// epochs 4, poison keys 100, shards 4
+	// aggregate max 1.2x, worst shard 12.2x, imbalance 1.26
+}
+
 // Parallelism is a pure performance knob: any worker count produces output
 // byte-identical to the sequential run (the determinism contract).
 func ExampleWithParallelism() {

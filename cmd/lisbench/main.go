@@ -43,7 +43,7 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|perf|all (all excludes perf)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|perf|all (all excludes perf)")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
@@ -76,11 +76,12 @@ func main() {
 		"ext":      runExtensions,
 		"ablation": runAblations,
 		"online":   runOnline,
+		"serve":    runServe,
 		"perf":     runPerf,
 	}
 	// perf is deliberately absent: wall-clock benchmarks do not belong in a
 	// figures-regeneration run (they are requested explicitly).
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online"}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve"}
 
 	var selected []string
 	if *fig == "all" {
@@ -111,6 +112,8 @@ func name(f string) string {
 		return "ablations"
 	case "online":
 		return "online scenario"
+	case "serve":
+		return "serving scenario"
 	case "perf":
 		return "perf sweep"
 	default:
@@ -352,17 +355,21 @@ func runExtensions(opts bench.Options, out string) error {
 		return err
 	}
 
-	fmt.Println("\n=== Extension B: RMI vs B-Tree ===")
-	cmp, err := bench.CompareWithBTree(opts)
+	fmt.Println("\n=== Extension B: backend comparison through index.Backend ===")
+	bcells, err := bench.CompareBackends(opts)
 	if err != nil {
 		return err
 	}
-	tb = export.NewTable("keys", "rmi_clean_probes", "rmi_poisoned_probes",
-		"btree_probes", "btree_height", "rmi_model_bytes")
-	tb.AddRow(fmt.Sprint(cmp.Keys), export.F(cmp.RMICleanProbes), export.F(cmp.RMIPoisProbes),
-		export.F(cmp.BTreeProbes), fmt.Sprint(cmp.BTreeHeight), fmt.Sprint(cmp.RMIMemBytes))
+	tb = export.NewTable("backend", "keys", "clean_probes", "poisoned_probes",
+		"probe_inflation", "clean_window", "poisoned_window", "retrains")
+	for _, c := range bcells {
+		tb.AddRow(c.Backend, fmt.Sprint(c.Keys), export.F(c.CleanProbes),
+			export.F(c.PoisonedProbes), export.F(c.ProbeInflation),
+			fmt.Sprint(c.CleanWindow), fmt.Sprint(c.PoisonedWindow),
+			fmt.Sprint(c.Retrains))
+	}
 	tb.Render(os.Stdout)
-	if err := writeCSV(out, "ext-btree.csv", tb); err != nil {
+	if err := writeCSV(out, "ext-backends.csv", tb); err != nil {
 		return err
 	}
 
@@ -514,6 +521,47 @@ func runOnline(opts bench.Options, out string) error {
 	export.RenderChart(os.Stdout, "Loss ratio vs epoch (highest budget)", series, 64, 12)
 	fmt.Printf("max final ratio: %.1f×\n", res.MaxFinalRatio())
 	return writeCSV(out, "online.csv", tb)
+}
+
+func runServe(opts bench.Options, out string) error {
+	fmt.Println("=== Serving scenario: poisoning a sharded index under honest load ===")
+	res, err := bench.ServeSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n = %d initial keys, %d epochs per cell, %d honest ops per epoch\n",
+		res.Keys, res.EpochsPerCell, res.OpsPerEpoch)
+	tb := export.NewTable("shards", "workload", "budget_pct", "epoch", "reads", "writes",
+		"injected", "poison_total", "displaced", "retrains", "buffer", "imbalance",
+		"clean_loss", "poisoned_loss", "ratio", "clean_probes", "poisoned_probes",
+		"max_shard_ratio")
+	for _, c := range res.Cells {
+		for _, e := range c.Epochs {
+			tb.AddRow(fmt.Sprint(c.Shards), c.Workload.String(), export.F(c.BudgetPct),
+				fmt.Sprint(e.Epoch), fmt.Sprint(e.Reads), fmt.Sprint(e.Writes),
+				fmt.Sprint(e.Injected), fmt.Sprint(e.PoisonTotal), fmt.Sprint(e.Displaced),
+				fmt.Sprint(e.Retrains), fmt.Sprint(e.BufferLen), export.F(e.Imbalance),
+				export.F(e.CleanLoss), export.F(e.PoisonedLoss), export.F(e.RatioLoss),
+				export.F(e.CleanProbes), export.F(e.PoisonedProbes), export.F(e.MaxShardRatio()))
+		}
+	}
+	tb.Render(os.Stdout)
+	// Ratio-vs-epoch chart per shard count, for the uniform mix.
+	var series []export.Series
+	for _, c := range res.Cells {
+		if !strings.HasPrefix(c.Workload.String(), "uniform") { // chart one mix
+			continue
+		}
+		var xs, ys []float64
+		for _, e := range c.Epochs {
+			xs = append(xs, float64(e.Epoch))
+			ys = append(ys, e.RatioLoss)
+		}
+		series = append(series, export.Series{Name: fmt.Sprintf("%d shards", c.Shards), X: xs, Y: ys})
+	}
+	export.RenderChart(os.Stdout, "Aggregate loss ratio vs epoch (uniform mix)", series, 64, 12)
+	fmt.Printf("max final ratio: %.1f×\n", res.MaxFinalRatio())
+	return writeCSV(out, "serve.csv", tb)
 }
 
 // runPerf measures the fixed attack×n×workers cell list (bench.PerfSweep),

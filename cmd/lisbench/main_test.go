@@ -65,12 +65,42 @@ func TestRunFig8(t *testing.T) { runAndCheckCSV(t, "fig8", runFig8, "fig8.csv") 
 
 func TestRunExtensions(t *testing.T) {
 	runAndCheckCSV(t, "ext", runExtensions,
-		"ext-lookup.csv", "ext-btree.csv", "ext-trim.csv",
+		"ext-lookup.csv", "ext-backends.csv", "ext-trim.csv",
 		"ext-adversaries.csv", "ext-pla.csv", "ext-quad.csv")
 }
 
 func TestRunOnline(t *testing.T) {
 	runAndCheckCSV(t, "online", runOnline, "online.csv")
+}
+
+func TestRunServe(t *testing.T) {
+	runAndCheckCSV(t, "serve", runServe, "serve.csv")
+}
+
+// TestServeCSVRowCount: the serve CSV carries exactly one row per
+// (epoch × shard-count × workload) cell, plus the header.
+func TestServeCSVRowCount(t *testing.T) {
+	dir := t.TempDir()
+	if err := silently(t, func() error { return runServe(quickOpts(), dir) }); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(filepath.Join(dir, "serve.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bench.ServeSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(res.Cells)*res.EpochsPerCell
+	if len(rows) != want {
+		t.Fatalf("serve.csv has %d rows, want %d (header + cells×epochs)", len(rows), want)
+	}
 }
 
 // TestOnlineCSVRowCount: the online CSV carries exactly one row per

@@ -8,6 +8,7 @@
 //	lispoison attack -in keys.txt -percent 10 -o poison.txt            # regression attack
 //	lispoison attack -in keys.txt -percent 10 -modelsize 100 -o p.txt  # RMI attack
 //	lispoison online -in keys.txt -epochs 8 -percent 2 -policy buffer:256 -o p.txt
+//	lispoison serve  -in keys.txt -epochs 6 -percent 2 -shards 4 -workload zipf:1.1:90
 //	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
 //	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
 //
@@ -17,6 +18,12 @@
 // buffer:K), optionally interleaved with -arrivals honest inserts per
 // epoch, and prints the per-epoch damage trajectory.
 //
+// The serve subcommand mounts the serving scenario: the same per-epoch
+// attacker against a -shards-way sharded index while an honest population
+// drives a -workload mix (uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]) of
+// reads and writes; the per-epoch table adds probe costs, shard imbalance,
+// and the worst per-shard loss ratio.
+//
 // Every command is deterministic given -seed.
 package main
 
@@ -24,8 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"cdfpoison"
 )
@@ -42,6 +47,8 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "online":
 		err = cmdOnline(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "defend":
@@ -59,11 +66,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|eval|defend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|eval|defend> [flags]
 
   gen     generate a key dataset (uniform|normal|lognormal|salaries|osm)
   attack  poison a key file (linear regression on CDF, or two-stage RMI)
   online  drip-feed poison into an updatable index across retrain cycles
+  serve   poison a sharded serving index under an honest read/write load
   eval    measure ratio loss of a poisoned file against the clean file
   defend  run the TRIM defense on a poisoned file
 
@@ -223,28 +231,6 @@ func cmdAttack(args []string) error {
 	return nil
 }
 
-// parsePolicy turns "manual", "every:K", or "buffer:K" into a RetrainPolicy.
-func parsePolicy(s string) (cdfpoison.RetrainPolicy, error) {
-	switch {
-	case s == "manual":
-		return cdfpoison.RetrainManually(), nil
-	case strings.HasPrefix(s, "every:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(s, "every:"))
-		if err != nil || k < 1 {
-			return cdfpoison.RetrainPolicy{}, fmt.Errorf("policy %q: want every:K with K >= 1", s)
-		}
-		return cdfpoison.RetrainEvery(k), nil
-	case strings.HasPrefix(s, "buffer:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(s, "buffer:"))
-		if err != nil || k < 1 {
-			return cdfpoison.RetrainPolicy{}, fmt.Errorf("policy %q: want buffer:K with K >= 1", s)
-		}
-		return cdfpoison.RetrainAtBufferSize(k), nil
-	default:
-		return cdfpoison.RetrainPolicy{}, fmt.Errorf("unknown policy %q (want manual | every:K | buffer:K)", s)
-	}
-}
-
 func cmdOnline(args []string) error {
 	fs := flag.NewFlagSet("online", flag.ExitOnError)
 	in := fs.String("in", "", "input key file (required)")
@@ -269,7 +255,7 @@ func cmdOnline(args []string) error {
 	if err != nil {
 		return fmt.Errorf("online: %w", err)
 	}
-	policy, err := parsePolicy(*policyStr)
+	policy, err := cdfpoison.ParseRetrainPolicy(*policyStr)
 	if err != nil {
 		return fmt.Errorf("online: %w", err)
 	}
@@ -321,6 +307,71 @@ func cmdOnline(args []string) error {
 	if *out != "" {
 		if err := writeKeys(*out, res.Poison); err != nil {
 			return fmt.Errorf("online: %w", err)
+		}
+		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	epochs := fs.Int("epochs", 6, "number of serving epochs")
+	percent := fs.Float64("percent", 2, "per-EPOCH poisoning percentage of the input keys")
+	shards := fs.Int("shards", 4, "shard count (1 = unsharded)")
+	policyStr := fs.String("policy", "manual", "per-shard retrain policy: manual | every:K | buffer:K")
+	workloadStr := fs.String("workload", "zipf:1.1:90", "honest mix: uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]")
+	ops := fs.Int("ops", 0, "honest operations per epoch (default 10% of the input keys)")
+	seed := fs.Uint64("seed", 42, "rng seed for the operation stream")
+	workers := fs.Int("workers", 0, "worker pool size: 0 = one per core, 1 = sequential; results are identical for any value")
+	out := fs.String("o", "", "optional output file for the injected poison keys")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("serve: -in is required")
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	policy, err := cdfpoison.ParseRetrainPolicy(*policyStr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	mix, err := cdfpoison.ParseWorkload(*workloadStr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	opsPerEpoch := *ops
+	if opsPerEpoch == 0 {
+		opsPerEpoch = ks.Len() / 10
+	}
+	res, err := cdfpoison.ServeAttack(ks, cdfpoison.ServeOptions{
+		Epochs:      *epochs,
+		OpsPerEpoch: opsPerEpoch,
+		EpochBudget: int(float64(ks.Len()) * *percent / 100),
+		Shards:      *shards,
+		Policy:      policy,
+		Workload:    mix,
+		Seed:        *seed,
+	}, cdfpoison.WithParallelism(*workers))
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Printf("serve attack: %d shards, policy=%s, workload=%s, %d ops/epoch over %d epochs\n",
+		*shards, policy, mix, opsPerEpoch, *epochs)
+	fmt.Printf("%5s %6s %7s %9s %7s %9s %7s %10s %12s %12s %10s\n",
+		"epoch", "reads", "writes", "injected", "buffer", "retrains", "ratio",
+		"imbalance", "clean_prob", "pois_prob", "max_shard")
+	for _, e := range res.Epochs {
+		fmt.Printf("%5d %6d %7d %9d %7d %9d %7.2f %10.2f %12.2f %12.2f %10.2f\n",
+			e.Epoch, e.Reads, e.Writes, e.Injected, e.BufferLen, e.Retrains,
+			e.RatioLoss, e.Imbalance, e.CleanProbes, e.PoisonedProbes, e.MaxShardRatio())
+	}
+	fmt.Printf("final ratio %.2f× (max %.2f×, worst shard %.2f×), %d poison keys, %d retrains\n",
+		res.FinalRatio(), res.MaxRatio(), res.MaxShardRatio(), res.Poison.Len(), res.Retrains)
+	if *out != "" {
+		if err := writeKeys(*out, res.Poison); err != nil {
+			return fmt.Errorf("serve: %w", err)
 		}
 		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
 	}

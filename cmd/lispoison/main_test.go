@@ -234,6 +234,79 @@ func TestOnlineWorkersFlagDeterminism(t *testing.T) {
 	}
 }
 
+func TestServeMode(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	poisonFile := tmpPath(t, "poison.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "400", "-domain", "16000", "-seed", "5", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-in", keysFile, "-epochs", "3", "-percent", "5",
+		"-shards", "4", "-workload", "zipf:1.1:85", "-o", poisonFile}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	poison, err := readKeys(poisonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% of 400 = 20 keys per epoch × 3 epochs.
+	if poison.Len() == 0 || poison.Len() > 60 {
+		t.Fatalf("poison count %d, want (0, 60]", poison.Len())
+	}
+	clean, _ := readKeys(keysFile)
+	for _, k := range poison.Keys() {
+		if clean.Contains(k) {
+			t.Fatalf("poison key %d collides with a clean key", k)
+		}
+	}
+}
+
+func TestServeRejectsBadInput(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "4000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-epochs", "2"}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := cmdServe([]string{"-in", keysFile, "-workload", "pareto"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := cmdServe([]string{"-in", keysFile, "-workload", "zipf:0"}); err == nil {
+		t.Fatal("zipf:0 accepted")
+	}
+	if err := cmdServe([]string{"-in", keysFile, "-policy", "hourly"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := cmdServe([]string{"-in", keysFile, "-shards", "80"}); err == nil {
+		t.Fatal("80 shards over 100 keys accepted")
+	}
+}
+
+// TestServeWorkersFlagDeterminism: -workers must never change the serve
+// scenario's poison output.
+func TestServeWorkersFlagDeterminism(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "500", "-domain", "20000", "-seed", "13", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers string) string {
+		t.Helper()
+		out := tmpPath(t, "poison.txt")
+		if err := cmdServe([]string{"-in", keysFile, "-epochs", "2", "-percent", "3",
+			"-shards", "2", "-workload", "hotspot:2:85", "-workers", workers, "-o", out}); err != nil {
+			t.Fatalf("serve -workers %s: %v", workers, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if seq, par := run("1"), run("4"); seq != par {
+		t.Fatal("serve attack output depends on -workers")
+	}
+}
+
 func TestEvalRejectsOverlap(t *testing.T) {
 	keysFile := tmpPath(t, "keys.txt")
 	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "1000", "-o", keysFile}); err != nil {

@@ -49,6 +49,18 @@
 //	    fmt.Println(e.Epoch, e.RatioLoss, e.PoisonedProbes)
 //	}
 //
+// Attacking a SHARDED serving index under honest load — the serving-layer
+// scenario (DESIGN.md §6): every substrate serves through the IndexBackend
+// contract, and ServeAttack drives poison into a range-partitioned index
+// (NewShardedIndex) while a deterministic workload mix reads and writes it:
+//
+//	res, _ := cdfpoison.ServeAttack(ks, cdfpoison.ServeOptions{
+//	    Epochs: 6, OpsPerEpoch: 500, EpochBudget: 50, Shards: 4,
+//	    Policy:   cdfpoison.RetrainManually(),
+//	    Workload: cdfpoison.ZipfWorkload(1.1, 90),
+//	})
+//	fmt.Println(res.MaxRatio(), res.MaxShardRatio()) // aggregate vs worst shard
+//
 // These snippets are compiled and output-checked as Example functions in
 // api_example_test.go.
 //

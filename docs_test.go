@@ -78,6 +78,11 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"§3 Scaling policy",
 			"Extension A",
 			"§5 The online scenario",
+			// api.go, internal/index, internal/shard, and the serve
+			// runners cite the serving layer's interface and router
+			// invariants.
+			"§6 Serving layer",
+			"Shard router invariants",
 			// The incremental attack kernel (internal/regression,
 			// internal/core) and the perf gate (internal/bench/perf.go,
 			// cmd/lisbench) cite these subsections.
@@ -89,6 +94,9 @@ func TestDocsCoverCitedSections(t *testing.T) {
 		"EXPERIMENTS.md": {
 			"paper vs. measured",
 			"Online scenario",
+			"Serving scenario",
+			"-fig serve",
+			"serve.csv",
 			"| F |",
 			"-seed 42",
 			"BENCH_PR3.json",
@@ -98,6 +106,8 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"Attack catalog",
 			"-workers",
 			"OnlinePoisonAttack",
+			"ServeAttack",
+			"NewShardedIndex",
 			"figure sweeps",
 		},
 	} {

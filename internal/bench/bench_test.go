@@ -202,19 +202,35 @@ func TestLookupDegradation(t *testing.T) {
 	}
 }
 
-func TestCompareWithBTree(t *testing.T) {
-	res, err := CompareWithBTree(quickOpts())
+func TestCompareBackends(t *testing.T) {
+	cells, err := CompareBackends(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.RMICleanProbes <= 0 || res.BTreeProbes <= 0 {
-		t.Fatalf("probes missing: %+v", res)
+	byName := map[string]BackendCell{}
+	for _, c := range cells {
+		byName[c.Backend] = c
+		if c.CleanProbes <= 0 || c.PoisonedProbes <= 0 {
+			t.Fatalf("%s: probes missing: %+v", c.Backend, c)
+		}
 	}
-	if res.RMIPoisProbes < res.RMICleanProbes {
-		t.Errorf("poisoned RMI probes %v below clean %v", res.RMIPoisProbes, res.RMICleanProbes)
+	for _, name := range []string{"dynamic", "rmi-single", "shard-4", "btree"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("backend %s missing from the sweep", name)
+		}
 	}
-	if res.BTreeHeight < 2 {
-		t.Errorf("btree height %d", res.BTreeHeight)
+	// The learned backends pay for the poison; the B-Tree is the control
+	// whose probe count barely moves — the comparison the sweep exists for.
+	for _, name := range []string{"dynamic", "rmi-single", "shard-4"} {
+		if c := byName[name]; c.ProbeInflation <= 1 {
+			t.Errorf("%s: probe inflation %v <= 1 after poisoning", name, c.ProbeInflation)
+		}
+	}
+	if bt := byName["btree"]; bt.ProbeInflation > 1.10 {
+		t.Errorf("btree probe inflation %v — balanced control should barely move", bt.ProbeInflation)
+	}
+	if bt := byName["btree"]; bt.CleanWindow != 0 || bt.Retrains != 0 {
+		t.Errorf("btree reports model stats: %+v", bt)
 	}
 }
 

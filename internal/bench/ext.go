@@ -7,8 +7,11 @@ import (
 	"cdfpoison/internal/btree"
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/defense"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/shard"
 )
 
 // LookupCell compares the learned index's lookup cost before and after the
@@ -93,19 +96,30 @@ func LookupDegradation(opts Options) ([]LookupCell, error) {
 	return out, nil
 }
 
-// IndexComparison pits the clean and poisoned RMI against a B-Tree on the
-// same keys — Extension B. Probes are key comparisons for both structures.
-type IndexComparison struct {
+// BackendCell is one backend of Extension B: every index substrate behind
+// index.Backend, fed the same keys and the same poison, measured through
+// the one ProbeSum code path. Probes are key comparisons everywhere, so
+// the cells are directly comparable.
+type BackendCell struct {
+	Backend        string
 	Keys           int
-	RMICleanProbes float64
-	RMIPoisProbes  float64
-	BTreeProbes    float64
-	BTreeHeight    int
-	RMIMemBytes    int
+	CleanProbes    float64 // mean probes per stored-key lookup, clean build
+	PoisonedProbes float64 // same, after absorbing the poison and retraining
+	ProbeInflation float64 // PoisonedProbes / CleanProbes
+	CleanWindow    int     // guaranteed model window (0 for model-free)
+	PoisonedWindow int
+	Retrains       int // retrains the poisoned side performed
 }
 
-// CompareWithBTree runs Extension B on uniform keys.
-func CompareWithBTree(opts Options) (IndexComparison, error) {
+// CompareBackends runs Extension B on uniform keys: the same greedy poison
+// set (Algorithm 1, 10% budget) is inserted into each backend — updatable
+// learned index, single-model RMI, 4-way sharded index, B-Tree — followed
+// by one maintenance retrain, and lookup cost over the legitimate keys is
+// measured before and after through index.Backend.ProbeSum alone. The
+// B-Tree row is the control: a balanced structure absorbs the same keys
+// with essentially unchanged probes, which is the paper's motivating
+// trade-off made measurable.
+func CompareBackends(opts Options) ([]BackendCell, error) {
 	opts = opts.fill()
 	n := 50_000
 	if opts.Scale == ScaleQuick {
@@ -114,43 +128,61 @@ func CompareWithBTree(opts Options) (IndexComparison, error) {
 	rng := opts.rng()
 	ks, err := DistUniform.generate(rng, n, int64(n)*20)
 	if err != nil {
-		return IndexComparison{}, err
+		return nil, err
 	}
-	fanout := n / 100
-	atk, err := core.RMIAttack(ks, core.RMIAttackOptions{
-		NumModels: fanout, Percent: 10, Alpha: 3,
-		MaxMoves: maxMovesFor(opts.Scale, fanout),
-	})
+	atk, err := core.GreedyMultiPoint(ks, n/10)
 	if err != nil {
-		return IndexComparison{}, err
+		return nil, err
 	}
-	cleanIdx, err := rmi.Build(ks, rmi.Config{Fanout: fanout})
-	if err != nil {
-		return IndexComparison{}, err
+	backends := []struct {
+		name  string
+		build core.BackendFactory
+	}{
+		{"dynamic", func(ks keys.Set) (index.Backend, error) {
+			return dynamic.New(ks, dynamic.ManualPolicy())
+		}},
+		{"rmi-single", func(ks keys.Set) (index.Backend, error) {
+			return rmi.NewSingle(ks)
+		}},
+		{"shard-4", func(ks keys.Set) (index.Backend, error) {
+			return shard.New(ks, 4, dynamic.ManualPolicy())
+		}},
+		{"btree", func(ks keys.Set) (index.Backend, error) {
+			return btree.Bulk(32, ks.Keys())
+		}},
 	}
-	poisIdx, err := rmi.Build(ks.Union(atk.Poison), rmi.Config{Fanout: fanout})
-	if err != nil {
-		return IndexComparison{}, err
+	legit := ks.Keys()
+	var out []BackendCell
+	for _, b := range backends {
+		clean, err := b.build(ks)
+		if err != nil {
+			return nil, fmt.Errorf("bench: backend %s: %w", b.name, err)
+		}
+		cleanProbes, _ := clean.ProbeSum(legit)
+		victim, err := b.build(ks)
+		if err != nil {
+			return nil, fmt.Errorf("bench: backend %s: %w", b.name, err)
+		}
+		for _, k := range atk.Poison {
+			victim.Insert(k)
+		}
+		victim.Retrain()
+		poisProbes, _ := victim.ProbeSum(legit)
+		cell := BackendCell{
+			Backend:        b.name,
+			Keys:           n,
+			CleanProbes:    float64(cleanProbes) / float64(n),
+			PoisonedProbes: float64(poisProbes) / float64(n),
+			CleanWindow:    clean.Stats().Window,
+			PoisonedWindow: victim.Stats().Window,
+			Retrains:       victim.Stats().Retrains,
+		}
+		if cell.CleanProbes > 0 {
+			cell.ProbeInflation = cell.PoisonedProbes / cell.CleanProbes
+		}
+		out = append(out, cell)
 	}
-	bt, err := btree.Bulk(32, ks.Keys())
-	if err != nil {
-		return IndexComparison{}, err
-	}
-	cleanProbes, _ := cleanIdx.AvgProbes(ks.Keys())
-	poisProbes, _ := poisIdx.AvgProbes(ks.Keys())
-	var btSum int
-	for _, k := range ks.Keys() {
-		_, p := bt.Get(k)
-		btSum += p
-	}
-	return IndexComparison{
-		Keys:           n,
-		RMICleanProbes: cleanProbes,
-		RMIPoisProbes:  poisProbes,
-		BTreeProbes:    float64(btSum) / float64(n),
-		BTreeHeight:    bt.Height(),
-		RMIMemBytes:    cleanIdx.Stats().MemoryBytes,
-	}, nil
+	return out, nil
 }
 
 // TrimCell is Extension C: the TRIM defense against the greedy CDF attack.

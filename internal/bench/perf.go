@@ -21,6 +21,7 @@ import (
 	"cdfpoison/internal/dataset"
 	"cdfpoison/internal/dynamic"
 	"cdfpoison/internal/keys"
+	"cdfpoison/internal/workload"
 	"cdfpoison/internal/xrand"
 )
 
@@ -94,6 +95,18 @@ func perfCells() []perfCell {
 		{attack: "rmi", n: 10_000, p: 500, op: func(ks keys.Set, w int) error {
 			_, err := core.RMIAttack(ks, core.RMIAttackOptions{
 				NumModels: 20, Percent: 5, Alpha: 3,
+			}, core.WithWorkers(w))
+			return err
+		}},
+		{attack: "serve", n: 4_000, p: 80, op: func(ks keys.Set, w int) error {
+			_, err := core.ServeAttack(ks, core.ServeOptions{
+				Epochs:      3,
+				OpsPerEpoch: 200,
+				EpochBudget: 80,
+				Shards:      4,
+				Policy:      dynamic.ManualPolicy(),
+				Workload:    workload.NewZipf(1.1, 90),
+				Seed:        99,
 			}, core.WithWorkers(w))
 			return err
 		}},

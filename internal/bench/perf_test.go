@@ -35,7 +35,7 @@ func TestPerfSweepShape(t *testing.T) {
 			t.Fatalf("unresolved workers in %+v", r)
 		}
 	}
-	for _, a := range []string{"greedy", "single", "brute", "rmi", "online"} {
+	for _, a := range []string{"greedy", "single", "brute", "rmi", "serve", "online"} {
 		if !attacks[a] {
 			t.Fatalf("attack %q missing from the sweep", a)
 		}

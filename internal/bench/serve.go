@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/engine"
+	"cdfpoison/internal/workload"
+)
+
+// ServeCell is one (shard count × workload mix) cell of the serving sweep:
+// the full per-epoch trajectory of the attack-under-load scenario.
+type ServeCell struct {
+	Shards    int
+	Workload  workload.Spec
+	BudgetPct float64 // per-EPOCH attacker budget as % of the initial keys
+	Budget    int
+	Epochs    []core.ServeEpochReport
+	// Trajectory summaries: aggregate final/max ratio, the single worst
+	// per-shard ratio (sharding concentrates damage), and the victim's
+	// final shard imbalance.
+	FinalRatio     float64
+	MaxRatio       float64
+	MaxShardRatio  float64
+	FinalImbalance float64
+	Retrains       int
+}
+
+// ServeSweepResult is the full serving sweep ("-fig serve" in lisbench):
+// the sharded attack-under-load scenario across shard counts and workload
+// mixes, over a shared initial key set and a per-cell deterministic
+// operation stream.
+type ServeSweepResult struct {
+	Keys          int
+	Domain        int64
+	EpochsPerCell int
+	OpsPerEpoch   int
+	Cells         []ServeCell
+}
+
+// serveShape returns the sweep parameters per scale.
+func serveShape(s Scale) (n, epochs, opsPerEpoch int, budgetPct float64, shardCounts []int, mixes []workload.Spec) {
+	mixes = []workload.Spec{
+		workload.NewUniform(90),
+		workload.NewZipf(1.1, 90),
+		workload.NewHotspot(2, 90),
+	}
+	switch s {
+	case ScaleQuick:
+		return 400, 3, 60, 5, []int{1, 4}, mixes
+	case ScaleLarge:
+		return 20_000, 8, 2_000, 2, []int{1, 4, 16}, mixes
+	default:
+		return 4_000, 6, 400, 2, []int{1, 4, 8}, mixes
+	}
+}
+
+// ServeSweep runs the attack-under-load scenario across shard counts and
+// workload mixes. The initial key set is drawn once and every cell's
+// operation stream uses the SAME Options.Seed — cells differ only in
+// shard count or mix, never in stream luck, and each cell derives its
+// stream independently so cells are order-independent. The
+// (shards × workload) cells fan out across Options.Workers with
+// sequential inner attacks — results fold in cell order, identical for
+// every worker count.
+func ServeSweep(opts Options) (ServeSweepResult, error) {
+	opts = opts.fill()
+	n, epochs, opsPerEpoch, budgetPct, shardCounts, mixes := serveShape(opts.Scale)
+	domain := int64(n) * 40
+
+	root := opts.rng()
+	ks, err := DistUniform.generate(root.Split(), n, domain)
+	if err != nil {
+		return ServeSweepResult{}, fmt.Errorf("bench: serve initial set: %w", err)
+	}
+
+	type cellSpec struct {
+		shards int
+		mix    workload.Spec
+	}
+	var specs []cellSpec
+	for _, sc := range shardCounts {
+		for _, mix := range mixes {
+			specs = append(specs, cellSpec{shards: sc, mix: mix})
+		}
+	}
+	budget := int(float64(n) * budgetPct / 100)
+	if budget < 1 {
+		budget = 1
+	}
+
+	pool := opts.pool()
+	cells, err := engine.Map(context.Background(), pool, len(specs), func(i int) (ServeCell, error) {
+		sp := specs[i]
+		res, err := core.ServeAttack(ks, core.ServeOptions{
+			Epochs:      epochs,
+			OpsPerEpoch: opsPerEpoch,
+			EpochBudget: budget,
+			Shards:      sp.shards,
+			Policy:      dynamic.ManualPolicy(),
+			Workload:    sp.mix,
+			Domain:      domain,
+			// All cells share the same stream seed: a cell differs from its
+			// neighbours only in shard count or mix, never in luck.
+			Seed: opts.Seed,
+		})
+		if err != nil {
+			return ServeCell{}, fmt.Errorf("bench: serve cell shards=%d workload=%s: %w", sp.shards, sp.mix, err)
+		}
+		last := res.Epochs[len(res.Epochs)-1]
+		return ServeCell{
+			Shards:         sp.shards,
+			Workload:       sp.mix,
+			BudgetPct:      budgetPct,
+			Budget:         budget,
+			Epochs:         res.Epochs,
+			FinalRatio:     res.FinalRatio(),
+			MaxRatio:       res.MaxRatio(),
+			MaxShardRatio:  res.MaxShardRatio(),
+			FinalImbalance: last.Imbalance,
+			Retrains:       res.Retrains,
+		}, nil
+	})
+	if err != nil {
+		return ServeSweepResult{}, err
+	}
+	return ServeSweepResult{
+		Keys:          n,
+		Domain:        domain,
+		EpochsPerCell: epochs,
+		OpsPerEpoch:   opsPerEpoch,
+		Cells:         cells,
+	}, nil
+}
+
+// MaxFinalRatio returns the largest end-of-scenario aggregate ratio across
+// cells — the sweep's headline number.
+func (r ServeSweepResult) MaxFinalRatio() float64 {
+	best := 0.0
+	for _, c := range r.Cells {
+		if c.FinalRatio > best {
+			best = c.FinalRatio
+		}
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+package btree
+
+import (
+	"testing"
+
+	"cdfpoison/internal/xrand"
+)
+
+// TestProbeSumMirrorsGet: ProbeSum is the exact per-key Get sum — the same
+// batch shape as dynamic.Index.ProbeSum, so the backend comparison sweep
+// measures both through one code path — and is partition-invariant.
+func TestProbeSumMirrorsGet(t *testing.T) {
+	tr := mustTree(t, 8)
+	rng := xrand.New(6)
+	stored := xrand.SampleInt64s(rng, 2_000, 1<<30)
+	for _, k := range stored {
+		tr.Insert(k)
+	}
+	queries := append(append([]int64(nil), stored[:500]...), 1, 2, 3, 1<<31)
+	var wantProbes int64
+	wantMiss := 0
+	for _, k := range queries {
+		found, p := tr.Get(k)
+		wantProbes += int64(p)
+		if !found {
+			wantMiss++
+		}
+	}
+	gotProbes, gotMiss := tr.ProbeSum(queries)
+	if gotProbes != wantProbes || gotMiss != wantMiss {
+		t.Fatalf("ProbeSum = (%d, %d), Get sum = (%d, %d)", gotProbes, gotMiss, wantProbes, wantMiss)
+	}
+	for _, cut := range []int{1, 100, len(queries) - 1} {
+		a, am := tr.ProbeSum(queries[:cut])
+		b, bm := tr.ProbeSum(queries[cut:])
+		if a+b != wantProbes || am+bm != wantMiss {
+			t.Fatalf("ProbeSum not partition-invariant at cut %d", cut)
+		}
+	}
+}
+
+// TestBackendFace: Lookup/Keys/Stats/Retrain behave as the model-free
+// backend the scenarios expect.
+func TestBackendFace(t *testing.T) {
+	tr := mustTree(t, 4)
+	for k := int64(0); k < 100; k += 2 {
+		tr.Insert(k)
+	}
+	r := tr.Lookup(42)
+	if !r.Found || r.Probes < 1 || r.Window != 0 || r.InBuffer {
+		t.Fatalf("Lookup(42) = %+v", r)
+	}
+	if r := tr.Lookup(43); r.Found {
+		t.Fatalf("phantom key: %+v", r)
+	}
+	ks := tr.Keys()
+	if ks.Len() != 50 || ks.Min() != 0 || ks.Max() != 98 {
+		t.Fatalf("Keys() = len %d [%d, %d]", ks.Len(), ks.Min(), ks.Max())
+	}
+	tr.Retrain() // no-op, must not disturb anything
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Keys != 50 || st.Buffered != 0 || st.Retrains != 0 || st.ModelLoss != 0 ||
+		st.ContentLoss != 0 || st.Window != 0 {
+		t.Fatalf("model-free stats carry model fields: %+v", st)
+	}
+}

@@ -126,8 +126,15 @@ func (t *Tree) Rank(k int64) int {
 	}
 }
 
-// Insert adds k; it reports false if k was already present.
-func (t *Tree) Insert(k int64) bool {
+// Insert adds k; accepted is false if k was already present or negative
+// (the repository's key universe is [0, m), and Keys() materializes into a
+// keys.Set that enforces it). The second result is index.Backend's
+// retrained flag and is always false: a B-Tree rebalances incrementally on
+// the way down and never retrains.
+func (t *Tree) Insert(k int64) (accepted, retrained bool) {
+	if k < 0 {
+		return false, false
+	}
 	r := t.root
 	if len(r.keys) == 2*t.degree-1 {
 		// Preemptive root split keeps the downward pass single-phase.
@@ -137,9 +144,9 @@ func (t *Tree) Insert(k int64) bool {
 	}
 	if t.root.insertNonFull(k, t.degree) {
 		t.size++
-		return true
+		return true, false
 	}
-	return false
+	return false, false
 }
 
 // splitChild splits the full child at index i into two d−1-key nodes,

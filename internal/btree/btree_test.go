@@ -29,8 +29,8 @@ func TestInsertGetSmall(t *testing.T) {
 	tr := mustTree(t, 2)
 	keys := []int64{5, 3, 8, 1, 4, 9, 7, 2, 6, 0}
 	for i, k := range keys {
-		if !tr.Insert(k) {
-			t.Fatalf("insert %d failed", k)
+		if ok, retrained := tr.Insert(k); !ok || retrained {
+			t.Fatalf("insert %d: accepted=%v retrained=%v", k, ok, retrained)
 		}
 		if tr.Len() != i+1 {
 			t.Fatalf("len %d after %d inserts", tr.Len(), i+1)
@@ -47,7 +47,7 @@ func TestInsertGetSmall(t *testing.T) {
 	if found, _ := tr.Get(42); found {
 		t.Error("phantom key found")
 	}
-	if tr.Insert(5) {
+	if ok, _ := tr.Insert(5); ok {
 		t.Error("duplicate insert succeeded")
 	}
 	if tr.Len() != 10 {
@@ -172,7 +172,7 @@ func TestRandomizedAgainstMap(t *testing.T) {
 			k := rng.Int63n(800)
 			switch rng.Intn(3) {
 			case 0:
-				got := tr.Insert(k)
+				got, _ := tr.Insert(k)
 				want := !ref[k]
 				if got != want {
 					t.Fatalf("degree %d op %d: Insert(%d) = %v, want %v", degree, op, k, got, want)
@@ -219,6 +219,13 @@ func TestQuickInsertAll(t *testing.T) {
 		}
 		ref := map[int64]bool{}
 		for _, k := range raw {
+			if k < 0 {
+				// Outside the [0, m) key universe: must be rejected.
+				if ok, _ := tr.Insert(k); ok {
+					return false
+				}
+				continue
+			}
 			tr.Insert(k)
 			ref[k] = true
 		}

@@ -6,9 +6,14 @@ import (
 
 	"cdfpoison/internal/dynamic"
 	"cdfpoison/internal/engine"
+	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
-	"cdfpoison/internal/regression"
 )
+
+// BackendFactory builds a fresh index backend over an initial key set. The
+// serving scenarios call it once per index they need (victim plus clean
+// counterfactual), so both sides start from identical state.
+type BackendFactory func(initial keys.Set) (index.Backend, error)
 
 // OnlineOracle selects the attacker's per-epoch poisoning oracle.
 type OnlineOracle int
@@ -61,6 +66,22 @@ type OnlineOptions struct {
 	// (NumModels, Alpha, …). Percent is overridden each epoch so the total
 	// matches EpochBudget against the current visible content.
 	RMI RMIAttackOptions
+	// Backend builds the victim and counterfactual indexes. nil selects the
+	// default: the updatable learned index (internal/dynamic) running
+	// Policy. Any index.Backend works — the scenario drives backends only
+	// through the interface, so the B-Tree baseline, the single-model RMI
+	// path, a sharded index, or a defense wrapper can stand in as victim.
+	//
+	// Policy serves double duty, and a custom factory must align with it:
+	// besides configuring the DEFAULT backend, Policy.Kind == Manual is the
+	// scenario-level switch that force-retrains both indexes at the end of
+	// every epoch (step 3) — regardless of what the factory built. A
+	// factory whose backend retrains on its own schedule (buffer/every-k
+	// inside the backend) should therefore be paired with a non-Manual
+	// Policy so the scenario adds no forced retrains; with the zero-value
+	// Policy (Manual) every backend gets the one-retrain-per-epoch
+	// maintenance cycle, which is a no-op for model-free backends.
+	Backend BackendFactory
 }
 
 func (o OnlineOptions) epochs() int {
@@ -152,31 +173,28 @@ type probeAgg struct {
 	clean, victim int64
 }
 
-// onlineState carries the scenario's mutable state between epochs.
+// onlineState carries the scenario's mutable state between epochs. Both
+// indexes are driven purely through index.Backend.
 type onlineState struct {
-	victim *dynamic.Index // receives arrivals AND poison
-	clean  *dynamic.Index // counterfactual: arrivals only, same policy
-	legit  []int64        // honest workload: initial keys + accepted arrivals
+	victim index.Backend // receives arrivals AND poison
+	clean  index.Backend // counterfactual: arrivals only, same policy
+	legit  []int64       // honest workload: initial keys + accepted arrivals
 	ex     exec
 }
 
 // measure evaluates both indexes at an epoch boundary: model-vs-content MSE
-// and the mean probe cost of the honest workload. The probe scan fans out
-// across the exec's worker pool; Lookup is read-only, sums are integers, and
-// chunks fold in index order, so the result is byte-identical for any
-// worker count.
+// (Stats().ContentLoss, so model staleness is visible) and the mean probe
+// cost of the honest workload. The probe scan fans out across the exec's
+// worker pool; Lookup is read-only, sums are integers, and chunks fold in
+// index order, so the result is byte-identical for any worker count.
 func (st *onlineState) measure(rep *EpochReport) error {
-	cleanLoss, err := regression.EvaluateCDF(st.clean.Model().Line, st.clean.Keys())
-	if err != nil {
-		return err
-	}
-	poisLoss, err := regression.EvaluateCDF(st.victim.Model().Line, st.victim.Keys())
-	if err != nil {
-		return err
-	}
-	rep.CleanLoss = cleanLoss
-	rep.PoisonedLoss = poisLoss
-	rep.RatioLoss = SafeRatio(poisLoss, cleanLoss)
+	cleanStats := st.clean.Stats()
+	victimStats := st.victim.Stats()
+	rep.Retrains = victimStats.Retrains
+	rep.BufferLen = victimStats.Buffered
+	rep.CleanLoss = cleanStats.ContentLoss
+	rep.PoisonedLoss = victimStats.ContentLoss
+	rep.RatioLoss = SafeRatio(rep.PoisonedLoss, rep.CleanLoss)
 
 	n := len(st.legit)
 	grain := engine.GrainForMin(n, st.ex.pool, endpointGrainFloor)
@@ -250,6 +268,11 @@ func (st *onlineState) oracle(opts OnlineOptions, execOpts []Option) ([]int64, e
 //     staleness is visible), the loss ratio against the counterfactual, and
 //     mean lookup probes over the honest workload.
 //
+// The scenario drives its victim purely through index.Backend:
+// OnlineOptions.Backend swaps in any substrate (dynamic index by default,
+// B-Tree baseline, single-model RMI, sharded index, defense wrapper)
+// without touching the scenario.
+//
 // Determinism contract: WithWorkers parallelism reaches only the per-epoch
 // oracle's candidate scans and the probe evaluation, all of which reduce in
 // index order; the result is byte-identical for every worker count (see
@@ -262,11 +285,17 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 	if initial.Len() < 2 {
 		return OnlineResult{}, ErrTooFew
 	}
-	victim, err := dynamic.New(initial, opts.Policy)
+	factory := opts.Backend
+	if factory == nil {
+		factory = func(ks keys.Set) (index.Backend, error) {
+			return dynamic.New(ks, opts.Policy)
+		}
+	}
+	victim, err := factory(initial)
 	if err != nil {
 		return OnlineResult{}, err
 	}
-	clean, err := dynamic.New(initial, opts.Policy)
+	clean, err := factory(initial)
 	if err != nil {
 		return OnlineResult{}, err
 	}
@@ -319,13 +348,12 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 			st.victim.Retrain()
 			st.clean.Retrain()
 		}
-		// 4. Measurement.
+		// 4. Measurement (measure fills Retrains/BufferLen from backend
+		// stats alongside the loss and probe columns).
 		rep := EpochReport{
 			Epoch:       e + 1,
 			Injected:    injected,
 			PoisonTotal: len(allPoison),
-			Retrains:    st.victim.Retrains(),
-			BufferLen:   st.victim.BufferLen(),
 			Displaced:   displaced,
 		}
 		if err := st.measure(&rep); err != nil {
@@ -333,7 +361,9 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 		}
 		res.Epochs = append(res.Epochs, rep)
 	}
-	res.Retrains = st.victim.Retrains()
+	// epochs >= 1 is validated, so the last report is always present; its
+	// cumulative retrain count is the scenario total (no extra Stats scan).
+	res.Retrains = res.Epochs[len(res.Epochs)-1].Retrains
 	ps, err := keys.NewStrict(allPoison)
 	if err != nil {
 		return OnlineResult{}, fmt.Errorf("core: online poison keys collide: %w", err)

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/engine"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/shard"
+	"cdfpoison/internal/workload"
+)
+
+// ServeOptions parameterizes the attack-under-load scenario: poisoning a
+// sharded serving index while an honest population reads and writes it.
+type ServeOptions struct {
+	// Epochs is the number of serving epochs (>= 1).
+	Epochs int
+	// OpsPerEpoch is the honest operation count per epoch, drawn from
+	// Workload (>= 0).
+	OpsPerEpoch int
+	// EpochBudget is the attacker's poison-key budget per epoch (>= 0).
+	EpochBudget int
+	// Shards is the victim's shard count (>= 1); 1 is the unsharded case,
+	// probe-for-probe identical to the plain dynamic index.
+	Shards int
+	// Policy is each shard's merge-and-retrain policy. As in the online
+	// scenario, dynamic.Manual means the scenario force-retrains every
+	// shard (victim and counterfactual) at the end of every epoch.
+	Policy dynamic.RetrainPolicy
+	// Workload is the honest traffic mix (reads by rank over the initial
+	// keys, uniform writes over [0, Domain)).
+	Workload workload.Spec
+	// Domain is the write-key universe size; 0 defaults to twice the
+	// initial key span.
+	Domain int64
+	// Seed drives the workload stream (both indexes see the identical
+	// stream, so the attacker is the only difference between them).
+	Seed uint64
+}
+
+func (o ServeOptions) domain(initial keys.Set) int64 {
+	if o.Domain > 0 {
+		return o.Domain
+	}
+	return 2 * (initial.Max() + 1)
+}
+
+func (o ServeOptions) validate() error {
+	if o.Epochs < 1 {
+		return fmt.Errorf("core: serve scenario needs Epochs >= 1, got %d", o.Epochs)
+	}
+	if o.OpsPerEpoch < 0 {
+		return fmt.Errorf("core: negative ops per epoch %d", o.OpsPerEpoch)
+	}
+	if o.EpochBudget < 0 {
+		return fmt.Errorf("core: negative per-epoch budget %d", o.EpochBudget)
+	}
+	if o.Shards < 1 {
+		return fmt.Errorf("core: serve scenario needs Shards >= 1, got %d", o.Shards)
+	}
+	return o.Workload.Validate()
+}
+
+// ServeShardReport is one shard's end-of-epoch state, with its loss ratio
+// against the same shard of the clean counterfactual (both indexes share
+// the router, so shard i covers the same key range on both sides).
+type ServeShardReport struct {
+	Shard     int
+	Keys      int
+	Buffered  int
+	Retrains  int
+	CleanLoss float64 // counterfactual shard's model-vs-content MSE
+	PoisLoss  float64 // victim shard's model-vs-content MSE
+	RatioLoss float64 // SafeRatio(PoisLoss, CleanLoss)
+}
+
+// ServeEpochReport is the scenario state measured at the end of one epoch.
+type ServeEpochReport struct {
+	Epoch int // 1-based
+	// Reads/Writes count this epoch's honest operations by type.
+	Reads, Writes int
+	// Injected is this epoch's accepted poison count; PoisonTotal,
+	// Displaced, Retrains, and CleanRetrains are cumulative.
+	Injected      int
+	PoisonTotal   int
+	Displaced     int // honest writes the victim rejected because poison occupied the slot
+	Retrains      int // victim retrains, summed across shards
+	CleanRetrains int
+	BufferLen     int // victim delta-buffer keys, summed across shards
+	// Aggregate model-vs-content loss (key-weighted across shards) and the
+	// ratio against the clean counterfactual.
+	CleanLoss    float64
+	PoisonedLoss float64
+	RatioLoss    float64
+	// Probe cost of this epoch's read keys, evaluated on both indexes:
+	// exact totals plus means per read.
+	CleanProbeTotal    int64
+	PoisonedProbeTotal int64
+	CleanProbes        float64
+	PoisonedProbes     float64
+	// Imbalance is the victim's max-shard-over-mean-shard key count; the
+	// clean index's imbalance is the honest baseline.
+	Imbalance      float64
+	CleanImbalance float64
+	// Shards is the per-shard breakdown (victim vs clean), in shard order.
+	Shards []ServeShardReport
+}
+
+// MaxShardRatio returns the epoch's worst per-shard loss ratio (floored at
+// 1) — the number a serving operator watching per-shard dashboards sees.
+func (e ServeEpochReport) MaxShardRatio() float64 {
+	best := 1.0
+	for _, s := range e.Shards {
+		if s.RatioLoss > best {
+			best = s.RatioLoss
+		}
+	}
+	return best
+}
+
+// ServeResult reports the full serving scenario.
+type ServeResult struct {
+	Shards   int
+	Epochs   []ServeEpochReport
+	Poison   keys.Set // union of all accepted poison keys
+	Retrains int      // victim total across shards at scenario end
+}
+
+// FinalRatio returns the last epoch's aggregate loss ratio.
+func (r ServeResult) FinalRatio() float64 {
+	if len(r.Epochs) == 0 {
+		return 1
+	}
+	return r.Epochs[len(r.Epochs)-1].RatioLoss
+}
+
+// MaxRatio returns the largest per-epoch aggregate loss ratio.
+func (r ServeResult) MaxRatio() float64 {
+	best := 1.0
+	for _, e := range r.Epochs {
+		if e.RatioLoss > best {
+			best = e.RatioLoss
+		}
+	}
+	return best
+}
+
+// MaxShardRatio returns the single worst per-shard loss ratio across the
+// whole scenario — sharding concentrates damage, so this exceeds the
+// aggregate ratio whenever the attacker focuses on a subset of ranges.
+func (r ServeResult) MaxShardRatio() float64 {
+	best := 1.0
+	for _, e := range r.Epochs {
+		if m := e.MaxShardRatio(); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// ServeAttack mounts the attack-under-load scenario: an adversary with a
+// per-epoch key budget poisons a range-partitioned sharded serving index
+// (internal/shard) while an honest population keeps reading and writing it.
+//
+// Each epoch:
+//
+//  1. OpsPerEpoch honest operations are drawn from the workload stream.
+//     Writes are inserted into both the victim and a clean counterfactual
+//     index (same router, same policy, same stream); reads are collected
+//     as the epoch's query workload.
+//  2. The attacker observes the victim's full visible content and injects
+//     up to EpochBudget poison keys computed by Algorithm 1
+//     (GreedyMultiPoint) against it. Inserts route through the victim's
+//     shards and can trigger per-shard policy retrains mid-epoch.
+//  3. With dynamic.Manual both indexes are force-retrained shard by shard
+//     (the epoch is the maintenance cycle); other policies retrain
+//     organically per shard.
+//  4. The epoch report captures per-shard and aggregate model-vs-content
+//     loss ratios, exact probe totals of the epoch's reads on both
+//     indexes, shard imbalance, buffer depth, and retrain counts.
+//
+// Determinism contract: the workload stream is a pure function of
+// (Workload, initial, Domain, Seed); WithWorkers parallelism reaches only
+// the oracle's candidate scans and the read-probe evaluation, both of
+// which fold in index order — the result is byte-identical for every
+// worker count (TestServeWorkerEquivalence). WithCancellation aborts
+// between epochs and inside the oracle with ctx.Err().
+func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (ServeResult, error) {
+	if err := opts.validate(); err != nil {
+		return ServeResult{}, err
+	}
+	victim, err := shard.New(initial, opts.Shards, opts.Policy)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	clean, err := shard.New(initial, opts.Shards, opts.Policy)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	gen, err := workload.NewGenerator(opts.Workload, initial, opts.domain(initial), opts.Seed)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	ex := newExec(execOpts)
+
+	res := ServeResult{Shards: opts.Shards, Epochs: make([]ServeEpochReport, 0, opts.Epochs)}
+	var allPoison []int64
+	displaced := 0
+	for e := 0; e < opts.Epochs; e++ {
+		if err := ex.ctx.Err(); err != nil {
+			return ServeResult{}, err
+		}
+		rep := ServeEpochReport{Epoch: e + 1}
+		// 1. Honest traffic: one shared stream for both indexes.
+		var reads []int64
+		for _, op := range gen.Ops(opts.OpsPerEpoch) {
+			if op.Read {
+				rep.Reads++
+				reads = append(reads, op.Key)
+				continue
+			}
+			rep.Writes++
+			cleanOK, _ := clean.Insert(op.Key)
+			victimOK, _ := victim.Insert(op.Key)
+			if cleanOK && !victimOK {
+				displaced++
+			}
+		}
+		// 2. The attack: Algorithm 1 against the victim's visible content.
+		if opts.EpochBudget > 0 {
+			g, err := GreedyMultiPoint(victim.Keys(), opts.EpochBudget, execOpts...)
+			if err != nil {
+				return ServeResult{}, fmt.Errorf("core: serve epoch %d oracle: %w", e+1, err)
+			}
+			for _, k := range g.Poison {
+				if ok, _ := victim.Insert(k); ok {
+					allPoison = append(allPoison, k)
+					rep.Injected++
+				}
+			}
+		}
+		// 3. Maintenance.
+		if opts.Policy.Kind == dynamic.Manual {
+			victim.Retrain()
+			clean.Retrain()
+		}
+		// 4. Measurement.
+		rep.PoisonTotal = len(allPoison)
+		rep.Displaced = displaced
+		if err := measureServe(&rep, victim, clean, reads, ex); err != nil {
+			return ServeResult{}, err
+		}
+		res.Epochs = append(res.Epochs, rep)
+	}
+	// Epochs >= 1 is validated, so the last report is always present; its
+	// cumulative retrain count is the scenario total (no extra Stats scan).
+	res.Retrains = res.Epochs[len(res.Epochs)-1].Retrains
+	ps, err := keys.NewStrict(allPoison)
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("core: serve poison keys collide: %w", err)
+	}
+	res.Poison = ps
+	return res, nil
+}
+
+// serveProbeGrainFloor mirrors the online scenario's probe-scan chunking.
+const serveProbeGrainFloor = 256
+
+// measureServe fills the epoch report's loss, probe, and shard columns.
+// The probe scan fans this epoch's read keys across the worker pool in
+// chunks; lookups are pure reads and the sums are integers folded in chunk
+// order, so any worker count produces identical bytes.
+func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, reads []int64, ex exec) error {
+	// Per-shard stats are the expensive part (ContentLoss is an O(shard)
+	// scan); collect them once per side and fold the aggregates here with
+	// the same key-weighted arithmetic shard.Index.Stats uses, instead of
+	// paying a second full pass through victim.Stats()/clean.Stats().
+	vShards, cShards := victim.ShardStats(), clean.ShardStats()
+	aggregate := func(shards []index.Stats) (keysTotal, buffered, retrains int, contentLoss float64) {
+		var contentW float64
+		for _, st := range shards {
+			keysTotal += st.Keys
+			buffered += st.Buffered
+			retrains += st.Retrains
+			contentW += st.ContentLoss * float64(st.Keys)
+		}
+		if keysTotal > 0 {
+			contentLoss = contentW / float64(keysTotal)
+		}
+		return keysTotal, buffered, retrains, contentLoss
+	}
+	_, vBuffered, vRetrains, vLoss := aggregate(vShards)
+	_, _, cRetrains, cLoss := aggregate(cShards)
+	rep.Retrains = vRetrains
+	rep.CleanRetrains = cRetrains
+	rep.BufferLen = vBuffered
+	rep.CleanLoss = cLoss
+	rep.PoisonedLoss = vLoss
+	rep.RatioLoss = SafeRatio(rep.PoisonedLoss, rep.CleanLoss)
+	rep.Imbalance = victim.Imbalance()
+	rep.CleanImbalance = clean.Imbalance()
+
+	rep.Shards = make([]ServeShardReport, len(vShards))
+	for i := range vShards {
+		rep.Shards[i] = ServeShardReport{
+			Shard:     i,
+			Keys:      vShards[i].Keys,
+			Buffered:  vShards[i].Buffered,
+			Retrains:  vShards[i].Retrains,
+			CleanLoss: cShards[i].ContentLoss,
+			PoisLoss:  vShards[i].ContentLoss,
+			RatioLoss: SafeRatio(vShards[i].ContentLoss, cShards[i].ContentLoss),
+		}
+	}
+
+	n := len(reads)
+	grain := engine.GrainForMin(n, ex.pool, serveProbeGrainFloor)
+	chunks, err := engine.MapChunks(ex.ctx, ex.pool, n, grain,
+		func(lo, hi int) (probeAgg, error) {
+			var a probeAgg
+			a.clean, _ = clean.ProbeSum(reads[lo:hi])
+			a.victim, _ = victim.ProbeSum(reads[lo:hi])
+			return a, nil
+		})
+	if err != nil {
+		return err
+	}
+	var total probeAgg
+	for _, a := range chunks {
+		total.clean += a.clean
+		total.victim += a.victim
+	}
+	rep.CleanProbeTotal = total.clean
+	rep.PoisonedProbeTotal = total.victim
+	if n > 0 {
+		rep.CleanProbes = float64(total.clean) / float64(n)
+		rep.PoisonedProbes = float64(total.victim) / float64(n)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package defense
+
+// The serving-side face of this package: defenses that wrap a live
+// index.Backend instead of sanitizing a training set after the fact. The
+// wrapper pattern is what the backend-interface refactor buys the defender
+// — a Guard composes with ANY backend (dynamic, sharded, single-model RMI,
+// even the B-Tree) and with any scenario, because both sides only see
+// index.Backend.
+
+import (
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+)
+
+var _ index.Backend = (*Guard)(nil)
+
+// GuardOptions tunes NewGuard.
+type GuardOptions struct {
+	// Window is the rank half-width of the neighbourhood inspected around
+	// each candidate insert; default 8.
+	Window int
+	// Ratio is the density multiple above which an insert is rejected: a
+	// key is refused when its window's local key density exceeds Ratio
+	// times the backend's global density. Default 4.
+	Ratio float64
+}
+
+func (o *GuardOptions) fill() {
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.Ratio <= 0 {
+		o.Ratio = 4
+	}
+}
+
+// Guard is an online insert sanitizer behind the index.Backend contract:
+// reads pass straight through; writes are screened by the same
+// local-density heuristic as DensityFlagger, evaluated at insert time
+// against the backend's current content. The paper's greedy attack
+// concentrates poison inside dense regions, so a density guard prices its
+// keys up — but, exactly as with the offline flagger, poison placed next
+// to legitimately dense regions slips through, and the Evaluate metrics
+// quantify how much.
+//
+// Rejected inserts never reach the backend, so they do not tick
+// write-count retrain policies — a guard also (incidentally) protects an
+// EveryK schedule from the duplicate-write lever documented in
+// internal/dynamic.
+// A Guard is single-writer THROUGH the guard: once wrapped, all mutation
+// must go through the Guard's Insert/Retrain (mutating the inner backend
+// directly would stale the guard's content cache).
+type Guard struct {
+	backend index.Backend
+	opts    GuardOptions
+	flagged int
+	// content caches backend.Keys() between mutations so the density
+	// screen costs O(log n) per offered insert instead of re-materializing
+	// the full content (O(n)) every time — a poison storm is exactly many
+	// rejected inserts in a row against unchanged content.
+	content      keys.Set
+	contentValid bool
+}
+
+// NewGuard wraps a backend with the density screen.
+func NewGuard(b index.Backend, opts GuardOptions) *Guard {
+	opts.fill()
+	return &Guard{backend: b, opts: opts}
+}
+
+// Flagged returns how many inserts the guard has rejected.
+func (g *Guard) Flagged() int { return g.flagged }
+
+// Unwrap returns the guarded backend.
+func (g *Guard) Unwrap() index.Backend { return g.backend }
+
+// suspicious implements the density screen: each SIDE of the candidate's
+// would-be position is measured against the global key density, and the
+// denser side decides. One-sided windows matter because the greedy attack
+// grows its poison run edge-outward — a centered window always straddles
+// the wide gap beyond the run's edge and averages the cluster away, while
+// the run-side window is pure cluster.
+func (g *Guard) suspicious(k int64) bool {
+	if !g.contentValid {
+		g.content = g.backend.Keys()
+		g.contentValid = true
+	}
+	content := g.content
+	n := content.Len()
+	if n < 3 {
+		return false
+	}
+	span := content.Max() - content.Min()
+	if span <= 0 {
+		return false
+	}
+	global := float64(n) / float64(span)
+	pos := content.CountLess(k) // 0-based insertion index
+	side := func(lo, hi int) float64 {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		if hi <= lo {
+			return 0
+		}
+		width := content.At(hi) - content.At(lo)
+		if width <= 0 {
+			width = 1
+		}
+		return float64(hi-lo) / float64(width)
+	}
+	left := side(pos-g.opts.Window, pos-1)  // the Window keys below k
+	right := side(pos, pos-1+g.opts.Window) // the Window keys at/above k
+	density := left
+	if right > density {
+		density = right
+	}
+	return density > g.opts.Ratio*global
+}
+
+// Insert screens k and forwards it only when its neighbourhood density is
+// unsuspicious; a rejected key reports (false, false) without touching the
+// backend.
+func (g *Guard) Insert(k int64) (accepted, retrained bool) {
+	if k >= 0 && g.suspicious(k) {
+		g.flagged++
+		return false, false
+	}
+	accepted, retrained = g.backend.Insert(k)
+	if accepted {
+		g.contentValid = false
+	}
+	return accepted, retrained
+}
+
+// The read-side and maintenance methods delegate unchanged.
+
+func (g *Guard) Lookup(k int64) index.LookupResult { return g.backend.Lookup(k) }
+
+// Retrain delegates and drops the content cache (a retrain does not change
+// the content, but keeping the invalidation tied to every mutation entry
+// point is cheaper to reason about than proving it unnecessary).
+func (g *Guard) Retrain() {
+	g.backend.Retrain()
+	g.contentValid = false
+}
+func (g *Guard) Len() int           { return g.backend.Len() }
+func (g *Guard) Keys() keys.Set     { return g.backend.Keys() }
+func (g *Guard) Stats() index.Stats { return g.backend.Stats() }
+func (g *Guard) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	return g.backend.ProbeSum(queryKeys)
+}

@@ -1,0 +1,146 @@
+package defense_test
+
+import (
+	"testing"
+
+	"cdfpoison/internal/core"
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/defense"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+// TestGuardDelegatesReads: the guard is a transparent index.Backend on the
+// read side — lookups, stats, and probe sums are the inner backend's.
+func TestGuardDelegatesReads(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(17), 300, 15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := dynamic.New(ks, dynamic.ManualPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b index.Backend = defense.NewGuard(inner, defense.GuardOptions{})
+	if b.Len() != inner.Len() {
+		t.Fatal("Len diverged")
+	}
+	for i := 0; i < ks.Len(); i += 7 {
+		if b.Lookup(ks.At(i)) != inner.Lookup(ks.At(i)) {
+			t.Fatalf("Lookup(%d) diverged", ks.At(i))
+		}
+	}
+	gp, gm := b.ProbeSum(ks.Keys())
+	ip, im := inner.ProbeSum(ks.Keys())
+	if gp != ip || gm != im {
+		t.Fatal("ProbeSum diverged")
+	}
+	if b.Stats() != inner.Stats() {
+		t.Fatal("Stats diverged")
+	}
+}
+
+// TestGuardScreensDensePoison: the greedy attack piles poison into dense
+// regions, so the density guard must flag a meaningful share of an optimal
+// poison set — and the guarded index must end up with strictly less model
+// damage than an unguarded twin fed the same keys — while spread-out
+// honest arrivals mostly pass.
+func TestGuardScreensDensePoison(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(23), 400, 16_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := core.GreedyMultiPoint(ks, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unguarded, err := dynamic.New(ks, dynamic.ManualPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := dynamic.New(ks, dynamic.ManualPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := defense.NewGuard(inner, defense.GuardOptions{Window: 8, Ratio: 3})
+
+	acceptedPlain, acceptedGuarded := 0, 0
+	for _, k := range atk.Poison {
+		if ok, _ := unguarded.Insert(k); ok {
+			acceptedPlain++
+		}
+		if ok, _ := guarded.Insert(k); ok {
+			acceptedGuarded++
+		}
+	}
+	unguarded.Retrain()
+	guarded.Retrain()
+	if guarded.Flagged() == 0 {
+		t.Fatal("guard flagged nothing from an optimal poison set")
+	}
+	if acceptedGuarded >= acceptedPlain {
+		t.Fatalf("guard accepted %d of %d poison keys, unguarded %d",
+			acceptedGuarded, len(atk.Poison), acceptedPlain)
+	}
+	if gl, ul := guarded.Stats().ContentLoss, unguarded.Stats().ContentLoss; gl >= ul {
+		t.Fatalf("guarded loss %v >= unguarded %v — screening bought nothing", gl, ul)
+	}
+
+	// Honest arrivals spread across the domain mostly pass the screen.
+	passed, offered := 0, 0
+	rng := xrand.New(99)
+	for i := 0; i < 100; i++ {
+		k := rng.Int63n(16_000)
+		if guarded.Keys().Contains(k) {
+			continue
+		}
+		offered++
+		if ok, _ := guarded.Insert(k); ok {
+			passed++
+		}
+	}
+	if offered == 0 || float64(passed)/float64(offered) < 0.5 {
+		t.Fatalf("guard rejected honest traffic: %d/%d passed", passed, offered)
+	}
+}
+
+// TestGuardUnderOnlineScenario: the guard rides core.OnlinePoisonAttack as
+// the victim factory — the composition the backend interface exists for —
+// and must reduce the attack's final damage relative to the bare index.
+func TestGuardUnderOnlineScenario(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(31), 400, 16_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.OnlineOptions{
+		Epochs:      3,
+		EpochBudget: 20,
+		Policy:      dynamic.ManualPolicy(),
+	}
+	bare, err := core.OnlinePoisonAttack(ks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withGuard := opts
+	withGuard.Backend = func(initial keys.Set) (index.Backend, error) {
+		inner, err := dynamic.New(initial, opts.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return defense.NewGuard(inner, defense.GuardOptions{Window: 8, Ratio: 3}), nil
+	}
+	guarded, err := core.OnlinePoisonAttack(ks, withGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Poison.Len() >= bare.Poison.Len() {
+		t.Fatalf("guard let through %d poison keys, bare index took %d",
+			guarded.Poison.Len(), bare.Poison.Len())
+	}
+	if guarded.FinalRatio() >= bare.FinalRatio() {
+		t.Fatalf("guarded final ratio %v >= bare %v", guarded.FinalRatio(), bare.FinalRatio())
+	}
+}

@@ -37,9 +37,14 @@ import (
 	"math"
 	"sort"
 
+	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/regression"
 )
+
+// Index implements index.Backend, the contract the serving scenarios and
+// the backend comparison sweep are written against.
+var _ index.Backend = (*Index)(nil)
 
 // ErrTooFew is returned when constructing an index over fewer than two keys:
 // a CDF regression needs at least two points to be meaningful.
@@ -273,13 +278,11 @@ func (x *Index) Keys() keys.Set {
 	return x.base.Union(bufSet)
 }
 
-// LookupResult reports a point query against the dynamic index.
-type LookupResult struct {
-	Found    bool
-	InBuffer bool // the key was served from the delta buffer
-	Probes   int  // key comparisons across base window + buffer search
-	Window   int  // guaranteed base search-window width for this query
-}
+// LookupResult reports a point query against the dynamic index: Probes
+// counts key comparisons across the base window plus the buffer search,
+// Window is the guaranteed base search-window width for this query, and
+// InBuffer marks keys served from the delta buffer.
+type LookupResult = index.LookupResult
 
 // Lookup finds a key, counting comparisons. Base keys are searched within
 // the model's guaranteed error envelope (always found); buffer keys fall
@@ -347,26 +350,25 @@ func (x *Index) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
 	return probes, notFound
 }
 
-// Stats summarizes the index state for reports.
-type Stats struct {
-	Keys      int     // total stored keys (base + buffer)
-	Buffered  int     // keys in the delta buffer
-	Retrains  int     // completed retrains
-	ModelLoss float64 // in-sample MSE of the current model on its base
-	Window    int     // guaranteed search-window width of the base model
-}
+// Stats is the uniform backend summary (index.Stats).
+type Stats = index.Stats
 
-// Stats computes the summary.
+// Stats computes the summary. ContentLoss evaluates the current model
+// against the full current content (base ∪ buffer), so staleness between
+// retrains is visible; ModelLoss is the in-sample MSE on the base alone.
 func (x *Index) Stats() Stats {
 	w := int(math.Ceil(x.eHi)-math.Floor(x.eLo)) + 1
 	if w < 1 {
 		w = 1
 	}
+	// EvaluateCDF cannot fail here: the index always holds >= 2 keys.
+	content, _ := regression.EvaluateCDF(x.model.Line, x.Keys())
 	return Stats{
-		Keys:      x.Len(),
-		Buffered:  len(x.buffer),
-		Retrains:  x.retrains,
-		ModelLoss: x.model.Loss,
-		Window:    w,
+		Keys:        x.Len(),
+		Buffered:    len(x.buffer),
+		Retrains:    x.retrains,
+		ModelLoss:   x.model.Loss,
+		ContentLoss: content,
+		Window:      w,
 	}
 }

@@ -1,0 +1,45 @@
+package dynamic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePolicy turns the retrain-policy spec syntax shared by the lispoison
+// online and serve subcommands — "manual", "every:K", or "buffer:K" with
+// K >= 1 — into a RetrainPolicy. It is total: any input yields either a
+// valid policy or an error, never a panic (FuzzParsePolicy enforces this),
+// and every successful parse round-trips through RetrainPolicy.String
+// modulo the ':' vs '-' separator.
+func ParsePolicy(s string) (RetrainPolicy, error) {
+	switch {
+	case s == "manual":
+		return ManualPolicy(), nil
+	case strings.HasPrefix(s, "every:"):
+		k, err := parsePolicyK(strings.TrimPrefix(s, "every:"))
+		if err != nil {
+			return RetrainPolicy{}, fmt.Errorf("policy %q: want every:K with K >= 1", s)
+		}
+		return EveryKInserts(k), nil
+	case strings.HasPrefix(s, "buffer:"):
+		k, err := parsePolicyK(strings.TrimPrefix(s, "buffer:"))
+		if err != nil {
+			return RetrainPolicy{}, fmt.Errorf("policy %q: want buffer:K with K >= 1", s)
+		}
+		return BufferLimit(k), nil
+	default:
+		return RetrainPolicy{}, fmt.Errorf("unknown policy %q (want manual | every:K | buffer:K)", s)
+	}
+}
+
+func parsePolicyK(s string) (int, error) {
+	k, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("K must be >= 1, got %d", k)
+	}
+	return k, nil
+}

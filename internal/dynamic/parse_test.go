@@ -1,0 +1,67 @@
+package dynamic
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]RetrainPolicy{
+		"manual":    ManualPolicy(),
+		"every:1":   EveryKInserts(1),
+		"every:500": EveryKInserts(500),
+		"buffer:64": BufferLimit(64),
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q -> %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{
+		"", "Manual", "every", "every:", "every:0", "every:-3", "every:x",
+		"buffer", "buffer:0", "buffer:1e3", "buffer:9999999999999999999999",
+		"every:3:4", "manual:1",
+	} {
+		if p, err := ParsePolicy(bad); err == nil {
+			t.Errorf("%q accepted as %+v", bad, p)
+		}
+	}
+}
+
+// FuzzParsePolicy: the policy parser shared by the lispoison online and
+// serve subcommands must be total (no panics) and must only ever return
+// policies that validate. The checked-in corpus replays in CI.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"manual", "every:8", "buffer:256", "", "every:", "buffer:-1",
+		"every:0x10", "buffer:999999999999999999999", "every:+3", "x:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		if verr := p.validate(); verr != nil {
+			t.Fatalf("ParsePolicy(%q) returned invalid policy %+v: %v", s, p, verr)
+		}
+		// Every accepted policy round-trips through the spec syntax.
+		rendered := "manual"
+		switch p.Kind {
+		case EveryK:
+			rendered = fmt.Sprintf("every:%d", p.K)
+		case BufferThreshold:
+			rendered = fmt.Sprintf("buffer:%d", p.K)
+		}
+		back, err := ParsePolicy(rendered)
+		if err != nil || back != p {
+			t.Fatalf("round trip of %q via %q: %+v, %v", s, rendered, back, err)
+		}
+	})
+}

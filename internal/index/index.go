@@ -1,0 +1,100 @@
+// Package index defines the backend contract every index substrate in this
+// repository serves through: probe-counted lookups, policy-driven inserts,
+// explicit retrains, and a uniform stats surface. The attacks and sweeps
+// above it (core.OnlinePoisonAttack, core.ServeAttack, the backend
+// comparison sweep in internal/bench, the defense wrappers) are written
+// against Backend alone, so any substrate — the updatable learned index
+// (internal/dynamic), the B-Tree baseline (internal/btree), the single-model
+// RMI path (internal/rmi), the range-partitioned sharded index
+// (internal/shard), or a defense wrapper (internal/defense) — can be swapped
+// under any scenario without touching the scenario.
+//
+// The package is a leaf: it depends only on internal/keys, so backends in
+// any substrate package can import it without cycles, and internal/core can
+// stay independent of the substrates it attacks (see DESIGN.md §1,
+// dependency rules).
+//
+// Contract notes:
+//
+//   - Lookup and ProbeSum are pure reads: no memoization, no mutation, safe
+//     to call concurrently with each other (but not with Insert/Retrain).
+//     The probe count is the implementation-independent lookup-cost metric
+//     every comparison in this repository uses.
+//   - Insert reports (accepted, retrained): accepted is false for
+//     duplicates (learned backends additionally reject negative keys, which
+//     fall outside the paper's [0, m) key universe); retrained is true when
+//     the call itself triggered a maintenance retrain (always false for
+//     structures that rebalance incrementally, like the B-Tree).
+//   - Retrain is the explicit maintenance hook. Model-free backends treat
+//     it as a no-op; learned backends merge pending writes and refit.
+//   - Everything is deterministic: identical call sequences produce
+//     identical backends, which the scenario equivalence tests rely on.
+package index
+
+import "cdfpoison/internal/keys"
+
+// LookupResult reports a probe-counted point query against a Backend.
+type LookupResult struct {
+	Found    bool
+	InBuffer bool // served from a delta buffer / staged area, not the base
+	Probes   int  // key comparisons performed
+	Window   int  // guaranteed model search-window width (0 when model-free)
+}
+
+// Stats is the uniform backend summary the scenarios report on.
+type Stats struct {
+	Keys     int // total stored keys
+	Buffered int // keys waiting in a delta buffer / staged area
+	Retrains int // completed retrains (0 for structures that never retrain)
+	// ModelLoss is the current model's in-sample MSE on the base it was
+	// trained on; 0 for model-free backends.
+	ModelLoss float64
+	// ContentLoss evaluates the CURRENT model against the CURRENT full
+	// content (base plus any buffered keys), so model staleness is visible
+	// before a retrain absorbs it; 0 for model-free backends.
+	ContentLoss float64
+	// Window is the guaranteed search-window width of the base model
+	// (maximum across shards for partitioned backends); 0 when model-free.
+	Window int
+}
+
+// Backend is the index contract the scenarios drive. All implementations
+// are single-writer: Insert and Retrain must not run concurrently with
+// anything, while Lookup/ProbeSum/Len/Keys/Stats are read-only and may be
+// fanned out across workers between mutations.
+type Backend interface {
+	// Lookup finds k, counting key comparisons.
+	Lookup(k int64) LookupResult
+	// Insert offers k; see the package comment for the (accepted,
+	// retrained) semantics.
+	Insert(k int64) (accepted, retrained bool)
+	// Retrain runs the backend's maintenance step (no-op if model-free).
+	Retrain()
+	// Len returns the total number of stored keys.
+	Len() int
+	// Keys materializes the full current content as a sorted key set —
+	// the "visible content" an insertion adversary computes poison against.
+	Keys() keys.Set
+	// Stats summarizes the backend state.
+	Stats() Stats
+	// ProbeSum runs a lookup for every query key and returns the exact
+	// total probe count plus how many keys were not found. Integer sums
+	// are partition-invariant, so callers may chunk queryKeys across
+	// workers and fold partial sums in any grouping — the property the
+	// serving scenarios' parallel evaluation leans on.
+	ProbeSum(queryKeys []int64) (probes int64, notFound int)
+}
+
+// ProbeSum is the reference batch evaluation: the exact per-key Lookup sum.
+// Backends embed or mirror it; tests use it to pin backend ProbeSum
+// implementations to their Lookup.
+func ProbeSum(b Backend, queryKeys []int64) (probes int64, notFound int) {
+	for _, k := range queryKeys {
+		r := b.Lookup(k)
+		probes += int64(r.Probes)
+		if !r.Found {
+			notFound++
+		}
+	}
+	return probes, notFound
+}

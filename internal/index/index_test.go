@@ -1,0 +1,182 @@
+package index_test
+
+// Cross-backend conformance: every substrate behind index.Backend obeys the
+// same observable contract, checked through the interface alone. This is
+// the test that makes "swap any backend under any scenario" a guarantee
+// rather than a hope: a new backend only has to join the factory table.
+
+import (
+	"testing"
+
+	"cdfpoison/internal/btree"
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/defense"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/shard"
+	"cdfpoison/internal/xrand"
+)
+
+// backendFactories enumerates every index.Backend implementation in the
+// repository.
+func backendFactories() map[string]func(keys.Set) (index.Backend, error) {
+	return map[string]func(keys.Set) (index.Backend, error){
+		"dynamic": func(ks keys.Set) (index.Backend, error) {
+			return dynamic.New(ks, dynamic.ManualPolicy())
+		},
+		"btree": func(ks keys.Set) (index.Backend, error) {
+			return btree.Bulk(32, ks.Keys())
+		},
+		"rmi-single": func(ks keys.Set) (index.Backend, error) {
+			return rmi.NewSingle(ks)
+		},
+		"shard-4": func(ks keys.Set) (index.Backend, error) {
+			return shard.New(ks, 4, dynamic.ManualPolicy())
+		},
+		"guarded-dynamic": func(ks keys.Set) (index.Backend, error) {
+			b, err := dynamic.New(ks, dynamic.ManualPolicy())
+			if err != nil {
+				return nil, err
+			}
+			return defense.NewGuard(b, defense.GuardOptions{}), nil
+		},
+	}
+}
+
+func fixture(t *testing.T, n int) keys.Set {
+	t.Helper()
+	ks, err := dataset.Uniform(xrand.New(11), n, int64(n)*50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestBackendConformance(t *testing.T) {
+	initial := fixture(t, 500)
+	queries := append(append([]int64(nil), initial.Keys()...), 1, 3, 5, 7, 1<<40)
+	for name, build := range backendFactories() {
+		t.Run(name, func(t *testing.T) {
+			b, err := build(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() != initial.Len() {
+				t.Fatalf("Len = %d, want %d", b.Len(), initial.Len())
+			}
+			if !b.Keys().Equal(initial) {
+				t.Fatal("Keys() does not round-trip the initial set")
+			}
+			// Every stored key is found; probes are positive.
+			for i := 0; i < initial.Len(); i++ {
+				r := b.Lookup(initial.At(i))
+				if !r.Found {
+					t.Fatalf("stored key %d not found", initial.At(i))
+				}
+				if r.Probes < 1 {
+					t.Fatalf("lookup of %d cost %d probes", initial.At(i), r.Probes)
+				}
+			}
+			// ProbeSum is exactly the per-key Lookup sum (the reference
+			// implementation in the index package).
+			gotProbes, gotMiss := b.ProbeSum(queries)
+			wantProbes, wantMiss := index.ProbeSum(b, queries)
+			if gotProbes != wantProbes || gotMiss != wantMiss {
+				t.Fatalf("ProbeSum = (%d, %d), reference = (%d, %d)",
+					gotProbes, gotMiss, wantProbes, wantMiss)
+			}
+			// ProbeSum is partition-invariant: any split folds to the total.
+			for _, cut := range []int{1, 7, len(queries) / 2, len(queries) - 1} {
+				aProbes, aMiss := b.ProbeSum(queries[:cut])
+				bProbes, bMiss := b.ProbeSum(queries[cut:])
+				if aProbes+bProbes != gotProbes || aMiss+bMiss != gotMiss {
+					t.Fatalf("ProbeSum not partition-invariant at cut %d", cut)
+				}
+			}
+			// Duplicate inserts are rejected; a fresh interior key is
+			// accepted, visible, and survives a retrain.
+			if ok, _ := b.Insert(initial.At(0)); ok {
+				t.Fatal("duplicate insert accepted")
+			}
+			fresh := freshKey(initial)
+			if ok, _ := b.Insert(fresh); !ok {
+				t.Fatalf("fresh key %d rejected", fresh)
+			}
+			if b.Len() != initial.Len()+1 {
+				t.Fatalf("Len = %d after one accepted insert", b.Len())
+			}
+			if r := b.Lookup(fresh); !r.Found {
+				t.Fatal("accepted key not found before retrain")
+			}
+			b.Retrain()
+			if r := b.Lookup(fresh); !r.Found {
+				t.Fatal("accepted key lost by retrain")
+			}
+			if st := b.Stats(); st.Keys != b.Len() {
+				t.Fatalf("Stats().Keys = %d, Len = %d", st.Keys, b.Len())
+			}
+			if st := b.Stats(); st.Buffered != 0 {
+				t.Fatalf("Stats().Buffered = %d after retrain", st.Buffered)
+			}
+		})
+	}
+}
+
+// freshKey returns an interior key absent from the set: the midpoint of the
+// first gap of width >= 3 (wide enough that no density guard flags it).
+func freshKey(ks keys.Set) int64 {
+	for i := 1; i < ks.Len(); i++ {
+		if ks.At(i)-ks.At(i-1) >= 4 {
+			return ks.At(i-1) + (ks.At(i)-ks.At(i-1))/2
+		}
+	}
+	panic("fixture has no wide gap")
+}
+
+// TestBackendStalenessVisible: for the learned backends, an accepted but
+// unmerged insert must raise ContentLoss above ModelLoss territory — the
+// staleness signal the serving scenarios report — and a retrain must
+// reconcile the two.
+func TestBackendStalenessVisible(t *testing.T) {
+	initial := fixture(t, 300)
+	for _, name := range []string{"dynamic", "rmi-single", "shard-4"} {
+		build := backendFactories()[name]
+		t.Run(name, func(t *testing.T) {
+			b, err := build(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := b.Stats()
+			// Insert a burst of fresh keys into one region.
+			inserted := 0
+			for k := initial.Min() + 1; inserted < 40 && k < initial.Max(); k += 7 {
+				if ok, _ := b.Insert(k); ok {
+					inserted++
+				}
+			}
+			if inserted == 0 {
+				t.Fatal("no insert accepted")
+			}
+			mid := b.Stats()
+			if mid.Buffered != inserted {
+				t.Fatalf("Buffered = %d, inserted %d", mid.Buffered, inserted)
+			}
+			if mid.ContentLoss <= before.ContentLoss {
+				t.Fatalf("ContentLoss %v did not rise above %v despite %d unmerged keys",
+					mid.ContentLoss, before.ContentLoss, inserted)
+			}
+			b.Retrain()
+			after := b.Stats()
+			if after.Buffered != 0 {
+				t.Fatalf("Buffered = %d after retrain", after.Buffered)
+			}
+			// Retrains is summed across shards for partitioned backends, so
+			// one Retrain() call advances it by at least one.
+			if after.Retrains <= before.Retrains {
+				t.Fatalf("Retrains = %d did not advance from %d", after.Retrains, before.Retrains)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package rmi
+
+// The index.Backend face of the single-model RMI path: a static learned
+// index (one second-stage regression, exactly the substrate the paper
+// poisons) wrapped with a staging area so it can sit in the serving
+// scenarios next to the updatable backends. Inserts are staged and served
+// by binary search; only an explicit Retrain rebuilds the model over the
+// union — the "rebuild on a maintenance window" deployment the paper's
+// threat model assumes.
+
+import (
+	"sort"
+
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+)
+
+var _ index.Backend = (*Single)(nil)
+
+// Single is a single-model (fanout-1) RMI behind the index.Backend
+// contract. It is NOT safe for concurrent mutation; lookups are pure reads.
+type Single struct {
+	idx      *Index
+	base     keys.Set
+	staged   []int64 // sorted, duplicate-free keys accepted since last rebuild
+	retrains int
+}
+
+// NewSingle builds the fanout-1 learned index over the initial keys.
+func NewSingle(initial keys.Set) (*Single, error) {
+	idx, err := Build(initial, Config{Fanout: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Single{idx: idx, base: initial}, nil
+}
+
+// Lookup serves base keys through the model's guaranteed window and staged
+// keys by binary search, counting comparisons across both.
+func (s *Single) Lookup(k int64) index.LookupResult {
+	r := s.idx.Lookup(k)
+	res := index.LookupResult{Found: r.Found, Probes: r.Probes, Window: r.Window}
+	if res.Found {
+		return res
+	}
+	lo, hi := 0, len(s.staged)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res.Probes++
+		switch c := s.staged[mid]; {
+		case c == k:
+			res.Found = true
+			res.InBuffer = true
+			return res
+		case c < k:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return res
+}
+
+// Insert stages k; accepted is false for negative or duplicate keys.
+// A static index never retrains on the write path, so retrained is always
+// false — damage accrues as staging cost until the owner calls Retrain.
+func (s *Single) Insert(k int64) (accepted, retrained bool) {
+	if k < 0 || s.base.Contains(k) {
+		return false, false
+	}
+	i := sort.Search(len(s.staged), func(i int) bool { return s.staged[i] >= k })
+	if i < len(s.staged) && s.staged[i] == k {
+		return false, false
+	}
+	s.staged = append(s.staged, 0)
+	copy(s.staged[i+1:], s.staged[i:])
+	s.staged[i] = k
+	return true, false
+}
+
+// Retrain rebuilds the model over base ∪ staged. Rebuilding with nothing
+// staged is legal and counted, matching the dynamic index's semantics.
+func (s *Single) Retrain() {
+	if len(s.staged) > 0 {
+		s.base = s.base.Union(keys.FromSorted(s.staged))
+		s.staged = nil
+	}
+	idx, err := Build(s.base, Config{Fanout: 1})
+	if err != nil {
+		// Build succeeded on this base before (or on a superset-compatible
+		// one); a failure here is a programming error, not an input error.
+		panic("rmi: rebuild of single-model backend failed: " + err.Error())
+	}
+	s.idx = idx
+	s.retrains++
+}
+
+// Len returns the total number of stored keys (base + staged).
+func (s *Single) Len() int { return s.base.Len() + len(s.staged) }
+
+// Keys materializes the full current content (base ∪ staged).
+func (s *Single) Keys() keys.Set {
+	if len(s.staged) == 0 {
+		return s.base
+	}
+	return s.base.Union(keys.FromSorted(s.staged))
+}
+
+// Stats reports the backend summary. ContentLoss evaluates the current
+// model's position predictions against the ranks of the full current
+// content, so staged (unmodeled) keys surface as staleness.
+func (s *Single) Stats() index.Stats {
+	st := s.idx.Stats()
+	content := s.Keys()
+	var sum float64
+	for i := 0; i < content.Len(); i++ {
+		d := s.idx.PredictPosition(content.At(i)) - float64(i+1)
+		sum += d * d
+	}
+	var contentLoss float64
+	if content.Len() > 0 {
+		contentLoss = sum / float64(content.Len())
+	}
+	return index.Stats{
+		Keys:        s.Len(),
+		Buffered:    len(s.staged),
+		Retrains:    s.retrains,
+		ModelLoss:   st.SecondStageMSE,
+		ContentLoss: contentLoss,
+		Window:      st.MaxWindow,
+	}
+}
+
+// ProbeSum runs a lookup for every query key and returns the exact total
+// probe count plus the not-found count; integer sums are
+// partition-invariant, so chunked parallel evaluation folds exactly.
+func (s *Single) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	return index.ProbeSum(s, queryKeys)
+}

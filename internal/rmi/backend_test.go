@@ -1,0 +1,88 @@
+package rmi
+
+import (
+	"testing"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/xrand"
+)
+
+// TestSingleLookupMatchesIndex: the backend face serves base keys exactly
+// as the underlying fanout-1 index does, with zero extra probes while the
+// staging area is empty.
+func TestSingleLookupMatchesIndex(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(7), 500, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSingle(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ks, Config{Fanout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ks.Len(); i++ {
+		k := ks.At(i)
+		br, ir := s.Lookup(k), idx.Lookup(k)
+		if !br.Found || br.Probes != ir.Probes || br.Window != ir.Window {
+			t.Fatalf("key %d: backend %+v vs index %+v", k, br, ir)
+		}
+	}
+}
+
+// TestSingleStagingAndRebuild: inserts stage without touching the model;
+// Retrain absorbs them; duplicates and negatives are rejected at both
+// levels.
+func TestSingleStagingAndRebuild(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(8), 300, 9_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSingle(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Insert(-5); ok {
+		t.Fatal("negative key accepted")
+	}
+	if ok, _ := s.Insert(ks.At(10)); ok {
+		t.Fatal("base duplicate accepted")
+	}
+	fresh := freshInteriorKey(ks.Keys())
+	if ok, retrained := s.Insert(fresh); !ok || retrained {
+		t.Fatalf("fresh key: accepted=%v retrained=%v", ok, retrained)
+	}
+	if ok, _ := s.Insert(fresh); ok {
+		t.Fatal("staged duplicate accepted")
+	}
+	r := s.Lookup(fresh)
+	if !r.Found || !r.InBuffer {
+		t.Fatalf("staged key lookup: %+v", r)
+	}
+	st := s.Stats()
+	if st.Buffered != 1 || st.Keys != ks.Len()+1 || st.Retrains != 0 {
+		t.Fatalf("pre-rebuild stats: %+v", st)
+	}
+	if st.ContentLoss <= 0 {
+		t.Fatalf("staged key did not surface as content loss: %+v", st)
+	}
+	s.Retrain()
+	st = s.Stats()
+	if st.Buffered != 0 || st.Retrains != 1 {
+		t.Fatalf("post-rebuild stats: %+v", st)
+	}
+	if r := s.Lookup(fresh); !r.Found || r.InBuffer {
+		t.Fatalf("absorbed key lookup: %+v", r)
+	}
+}
+
+func freshInteriorKey(sorted []int64) int64 {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i]-sorted[i-1] >= 2 {
+			return sorted[i-1] + 1
+		}
+	}
+	panic("no gap")
+}

@@ -1,0 +1,304 @@
+// Package shard implements a range-partitioned sharded index: a router
+// fitted over the initial key CDF in front of N independent dynamic shards
+// (internal/dynamic), behind the index.Backend contract.
+//
+// This is the serving-layer shape production learned-index systems take —
+// one cheap router, many small models, writes absorbed per shard — and the
+// victim of core.ServeAttack: poisoning a sharded index concentrates damage
+// in the shards whose ranges the attacker floods, which surfaces as shard
+// imbalance and per-shard retrain churn on top of model loss.
+//
+// Router invariants:
+//
+//  1. The router is FROZEN at construction: cut keys are derived from the
+//     regression line fitted on the initial key CDF (inverted at equal-mass
+//     rank cuts; empirical quantile fallback when the model's cuts would
+//     leave a shard under-populated). Routing is a pure function of the
+//     key, so a key inserts into and is looked up from the same shard
+//     forever, no matter what arrives later.
+//  2. Shards own disjoint, contiguous key ranges covering the whole
+//     universe: shard i serves keys in [cuts[i-1], cuts[i]) (first and last
+//     ranges are open-ended). Concatenating shard contents in shard order
+//     is therefore globally sorted — Keys() is a cheap ordered merge.
+//  3. Routing cost is counted: Lookup adds the router's binary-search
+//     comparisons over the cut keys to the probe total, so a 1-shard index
+//     (no cuts) is probe-for-probe identical to the unsharded dynamic
+//     index — the equivalence the serve scenario's N=1 golden test pins.
+//
+// Determinism under concurrency: mutation (Insert/Retrain) is
+// single-writer, exactly like every other backend; Lookup and ProbeSum are
+// pure reads. ProbeSumParallel fans chunks of a batch across an
+// engine.Pool — integer probe sums are partition-invariant, so any worker
+// count folds to the sequential total byte-identically (DESIGN.md §2).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/engine"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
+)
+
+// ErrTooFewPerShard is returned when the initial set cannot give every
+// shard the two keys its model needs.
+var ErrTooFewPerShard = errors.New("shard: need at least two initial keys per shard")
+
+var _ index.Backend = (*Index)(nil)
+
+// Index is the range-partitioned sharded index.
+type Index struct {
+	cuts   []int64 // len = shards-1; shard i owns [cuts[i-1], cuts[i])
+	shards []*dynamic.Index
+}
+
+// New builds a sharded index: the router is fitted over the initial key
+// CDF, the initial keys are partitioned by it, and each shard becomes an
+// independent dynamic index running its own copy of the retrain policy.
+// Requires n >= 1 shards and at least two initial keys per shard.
+func New(initial keys.Set, n int, policy dynamic.RetrainPolicy) (*Index, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need >= 1 shards, got %d", n)
+	}
+	if initial.Len() < 2*n {
+		return nil, fmt.Errorf("%w: %d keys across %d shards", ErrTooFewPerShard, initial.Len(), n)
+	}
+	cuts, err := routerCuts(initial, n)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{cuts: cuts}
+	parts := partition(initial, cuts)
+	for i, part := range parts {
+		s, err := dynamic.New(part, policy)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		x.shards = append(x.shards, s)
+	}
+	return x, nil
+}
+
+// routerCuts derives the shard cut keys from the CDF fit: the fitted line
+// rank ≈ W·k + B is inverted at the equal-mass ranks i·len/n, giving the
+// key where the model predicts each shard boundary falls. If the model's
+// cuts would leave any shard with fewer than two initial keys (heavily
+// skewed data a single line cannot split evenly), the cuts fall back to the
+// empirical quantiles of the initial set, which by construction cannot.
+func routerCuts(initial keys.Set, n int) ([]int64, error) {
+	if n == 1 {
+		return nil, nil
+	}
+	m, err := regression.FitCDF(initial)
+	if err != nil {
+		return nil, err
+	}
+	total := initial.Len()
+	cuts := make([]int64, n-1)
+	prev := initial.Min()
+	feasible := m.Line.W > 0
+	for i := 1; i < n && feasible; i++ {
+		r := float64(i) * float64(total) / float64(n)
+		f := (r - m.Line.B) / m.Line.W
+		// Reject cuts outside the key range BEFORE the int64 conversion:
+		// converting an out-of-range float is not well-defined.
+		if !(f > float64(initial.Min()) && f < float64(initial.Max())) {
+			feasible = false
+			break
+		}
+		cut := int64(f)
+		if cut <= prev {
+			feasible = false
+			break
+		}
+		cuts[i-1] = cut
+		prev = cut
+	}
+	if feasible {
+		for _, p := range partition(initial, cuts) {
+			if p.Len() < 2 {
+				feasible = false
+				break
+			}
+		}
+	}
+	if !feasible {
+		for i := 1; i < n; i++ {
+			cuts[i-1] = initial.At(i * total / n)
+		}
+	}
+	return cuts, nil
+}
+
+// partition splits the set into per-shard subsets by the cut keys.
+func partition(ks keys.Set, cuts []int64) []keys.Set {
+	raw := ks.Keys()
+	parts := make([]keys.Set, 0, len(cuts)+1)
+	lo := 0
+	for _, cut := range cuts {
+		hi := sort.Search(len(raw), func(i int) bool { return raw[i] >= cut })
+		parts = append(parts, ks.Slice(lo, hi))
+		lo = hi
+	}
+	return append(parts, ks.Slice(lo, len(raw)))
+}
+
+// route returns the shard index owning k and the number of cut-key
+// comparisons the router performed.
+func (x *Index) route(k int64) (shard, probes int) {
+	lo, hi := 0, len(x.cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		probes++
+		if x.cuts[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, probes
+}
+
+// NumShards returns the shard count.
+func (x *Index) NumShards() int { return len(x.shards) }
+
+// Shard returns the i-th underlying dynamic index (read-only use).
+func (x *Index) Shard(i int) *dynamic.Index { return x.shards[i] }
+
+// Cuts returns the router's cut keys (len NumShards-1); read-only.
+func (x *Index) Cuts() []int64 { return x.cuts }
+
+// Lookup routes k and queries the owning shard, counting router
+// comparisons plus shard probes.
+func (x *Index) Lookup(k int64) index.LookupResult {
+	s, rp := x.route(k)
+	res := x.shards[s].Lookup(k)
+	res.Probes += rp
+	return res
+}
+
+// Insert routes k to its shard; (accepted, retrained) are the shard's.
+func (x *Index) Insert(k int64) (accepted, retrained bool) {
+	s, _ := x.route(k)
+	return x.shards[s].Insert(k)
+}
+
+// Retrain force-retrains every shard (the manual maintenance cycle).
+func (x *Index) Retrain() {
+	for _, s := range x.shards {
+		s.Retrain()
+	}
+}
+
+// Len returns the total number of stored keys across shards.
+func (x *Index) Len() int {
+	n := 0
+	for _, s := range x.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Keys materializes the full content. Shard ranges are disjoint and
+// ordered, so the concatenation of shard contents is already sorted.
+func (x *Index) Keys() keys.Set {
+	out := make([]int64, 0, x.Len())
+	for _, s := range x.shards {
+		out = append(out, s.Keys().Keys()...)
+	}
+	return keys.FromSorted(out)
+}
+
+// Stats aggregates across shards: counts sum, losses are key-weighted
+// means (each shard models its own subrange, so its loss lives in
+// shard-local rank space), Window is the worst shard's.
+func (x *Index) Stats() index.Stats {
+	var agg index.Stats
+	var lossW, contentW float64
+	for _, s := range x.shards {
+		st := s.Stats()
+		agg.Keys += st.Keys
+		agg.Buffered += st.Buffered
+		agg.Retrains += st.Retrains
+		lossW += st.ModelLoss * float64(st.Keys)
+		contentW += st.ContentLoss * float64(st.Keys)
+		if st.Window > agg.Window {
+			agg.Window = st.Window
+		}
+	}
+	if agg.Keys > 0 {
+		agg.ModelLoss = lossW / float64(agg.Keys)
+		agg.ContentLoss = contentW / float64(agg.Keys)
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own summary, in shard order.
+func (x *Index) ShardStats() []index.Stats {
+	out := make([]index.Stats, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Imbalance is the largest shard's key count over the mean shard key
+// count: 1.0 is perfectly balanced; an attacker flooding one range drives
+// it toward NumShards.
+func (x *Index) Imbalance() float64 {
+	if len(x.shards) == 0 {
+		return 1
+	}
+	maxLen := 0
+	for _, s := range x.shards {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	mean := float64(x.Len()) / float64(len(x.shards))
+	if mean == 0 {
+		return 1
+	}
+	return float64(maxLen) / mean
+}
+
+// ProbeSum runs a lookup for every query key sequentially; integer sums
+// are partition-invariant (see ProbeSumParallel).
+func (x *Index) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	return index.ProbeSum(x, queryKeys)
+}
+
+// probeSumGrainFloor keeps per-chunk work (a few hundred O(log n) lookups)
+// well above the engine's scheduling overhead.
+const probeSumGrainFloor = 256
+
+// ProbeSumParallel is ProbeSum with the batch fanned out across the pool in
+// contiguous chunks. Lookups are pure reads and the per-chunk sums are
+// integers folded in chunk order, so the result is byte-identical to the
+// sequential ProbeSum for any worker count — the §2 determinism contract.
+func (x *Index) ProbeSumParallel(ctx context.Context, pool *engine.Pool, queryKeys []int64) (probes int64, notFound int, err error) {
+	type agg struct {
+		probes   int64
+		notFound int
+	}
+	n := len(queryKeys)
+	grain := engine.GrainForMin(n, pool, probeSumGrainFloor)
+	chunks, err := engine.MapChunks(ctx, pool, n, grain, func(lo, hi int) (agg, error) {
+		var a agg
+		a.probes, a.notFound = x.ProbeSum(queryKeys[lo:hi])
+		return a, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, a := range chunks {
+		probes += a.probes
+		notFound += a.notFound
+	}
+	return probes, notFound, nil
+}

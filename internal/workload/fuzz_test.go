@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+// fixtureKeys is the shared fuzz fixture (fuzz targets cannot take
+// testing.TB helpers in the corpus path).
+func fixtureKeys() keys.Set {
+	ks, err := dataset.Uniform(xrand.New(9), 200, 4_000)
+	if err != nil {
+		panic(err)
+	}
+	return ks
+}
+
+// FuzzParseSpec: the workload spec parser shared by `lispoison serve` must
+// be total — any input yields a valid Spec or an error, never a panic —
+// and every accepted spec must validate and round-trip through String.
+// The checked-in corpus under testdata/fuzz replays in CI.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"uniform", "uniform:90", "zipf", "zipf:1.1", "zipf:1.1:90",
+		"hotspot", "hotspot:2", "hotspot:2:90", "", ":", "zipf::",
+		"uniform:1e309", "hotspot:-0", "zipf:0x1p-10:50", "uniform:+90",
+		"zipf:NaN", "zipf:Inf:50", "uniform:90:", "hotspot:2:90:7",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec %+v: %v", s, spec, verr)
+		}
+		if math.IsNaN(spec.ReadPct) || math.IsNaN(spec.Theta) || math.IsNaN(spec.HotPct) {
+			t.Fatalf("ParseSpec(%q) produced NaN fields: %+v", s, spec)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("round trip of %q via %q failed: %v", s, spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("round trip of %q: %+v != %+v", s, back, spec)
+		}
+	})
+}
+
+// FuzzGenerator: every accepted spec must drive the generator without
+// panicking, and the stream must respect the read/write key contracts.
+func FuzzGenerator(f *testing.F) {
+	f.Add("uniform:50", uint64(1))
+	f.Add("zipf:1.3:80", uint64(2))
+	f.Add("hotspot:3:70", uint64(3))
+	ks := fixtureKeys()
+	f.Fuzz(func(t *testing.T, s string, seed uint64) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		g, err := NewGenerator(spec, ks, 10_000, seed)
+		if err != nil {
+			t.Fatalf("valid spec %+v rejected by NewGenerator: %v", spec, err)
+		}
+		for _, op := range g.Ops(64) {
+			if op.Read && !ks.Contains(op.Key) {
+				t.Fatalf("spec %q: read key %d not stored", s, op.Key)
+			}
+			if !op.Read && (op.Key < 0 || op.Key >= 10_000) {
+				t.Fatalf("spec %q: write key %d out of domain", s, op.Key)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the workload spec syntax of `lispoison serve`, the
+// serving-layer sibling of the retrain-policy syntax (dynamic.ParsePolicy):
+//
+//	uniform[:READ%]          e.g. "uniform", "uniform:80"
+//	zipf[:THETA[:READ%]]     e.g. "zipf", "zipf:1.2", "zipf:1.2:80"
+//	hotspot[:HOT%[:READ%]]   e.g. "hotspot", "hotspot:5", "hotspot:5:80"
+//
+// Omitted fields default to READ% = 90, THETA = 1.1, HOT% = 1. ParseSpec is
+// total: any input yields a valid Spec or an error, never a panic
+// (FuzzParseSpec enforces this), and Spec.String round-trips through it.
+func ParseSpec(s string) (Spec, error) {
+	fields := strings.Split(s, ":")
+	const defaultReadPct = 90
+	var spec Spec
+	var maxFields int
+	switch fields[0] {
+	case "uniform":
+		spec = NewUniform(defaultReadPct)
+		maxFields = 2
+	case "zipf":
+		spec = NewZipf(1.1, defaultReadPct)
+		maxFields = 3
+	case "hotspot":
+		spec = NewHotspot(1, defaultReadPct)
+		maxFields = 3
+	default:
+		return Spec{}, fmt.Errorf("unknown workload %q (want uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]])", s)
+	}
+	if len(fields) > maxFields {
+		return Spec{}, fmt.Errorf("workload %q: too many ':' fields", s)
+	}
+	parse := func(raw, what string, dst *float64) error {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("workload %q: bad %s %q", s, what, raw)
+		}
+		*dst = v
+		return nil
+	}
+	if len(fields) >= 2 {
+		switch spec.Kind {
+		case Zipf:
+			if err := parse(fields[1], "theta", &spec.Theta); err != nil {
+				return Spec{}, err
+			}
+		case Hotspot:
+			if err := parse(fields[1], "hot%", &spec.HotPct); err != nil {
+				return Spec{}, err
+			}
+		default:
+			if err := parse(fields[1], "read%", &spec.ReadPct); err != nil {
+				return Spec{}, err
+			}
+		}
+	}
+	if len(fields) == 3 {
+		if err := parse(fields[2], "read%", &spec.ReadPct); err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("workload %q: %w", s, err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,210 @@
+// Package workload generates deterministic read/write operation streams for
+// the serving scenarios: an honest population issuing point lookups over the
+// stored keys interleaved with fresh inserts, with the read-key distribution
+// selectable between uniform, Zipf-over-rank, and an adversarial hotspot
+// mix. Streams are pure functions of (spec, initial key set, domain, seed) —
+// seeded via internal/xrand, no clocks, no global state — so every scenario
+// replay and every worker-equivalence test sees byte-identical traffic.
+//
+// Read keys are drawn by RANK into the initial key set (the population
+// queries what it stored), which keeps read workloads meaningful as the
+// backend absorbs new writes: a lookup always targets a key that is present,
+// so probe counts measure cost, not miss rates. Write keys are drawn
+// uniformly from the key universe [0, domain) and may collide with stored
+// keys — the backend's accept/reject bookkeeping handles that, as in the
+// online scenario.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+// Kind selects the read-key distribution over ranks.
+type Kind int
+
+const (
+	// Uniform reads hit every stored rank equally often.
+	Uniform Kind = iota
+	// Zipf reads follow a Zipf law over rank: rank r drawn with probability
+	// ∝ 1/r^Theta — the classic skewed-popularity serving workload.
+	Zipf
+	// Hotspot reads concentrate on a small contiguous rank window (the
+	// middle HotPct percent of ranks): hotWindowShare of reads land in the
+	// window, the rest are uniform. This is the adversarial mix — an
+	// attacker who poisons the ranges the population actually reads
+	// multiplies per-query damage.
+	Hotspot
+)
+
+// String names the kind for specs and CSV cells.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Hotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// hotWindowShare is the fraction of reads a Hotspot spec sends into the hot
+// rank window; the remainder are uniform over all ranks.
+const hotWindowShare = 0.9
+
+// Spec parameterizes a workload stream. The zero value is invalid;
+// construct with NewUniform/NewZipf/NewHotspot or ParseSpec.
+type Spec struct {
+	Kind Kind
+	// ReadPct is the percentage of operations that are reads, in [0, 100].
+	ReadPct float64
+	// Theta is the Zipf exponent (> 0); ignored by other kinds.
+	Theta float64
+	// HotPct is the hot window's size as a percentage of the rank space,
+	// in (0, 100]; ignored by other kinds.
+	HotPct float64
+}
+
+// NewUniform returns a uniform-read spec with the given read percentage.
+func NewUniform(readPct float64) Spec { return Spec{Kind: Uniform, ReadPct: readPct} }
+
+// NewZipf returns a Zipf-over-rank spec with exponent theta.
+func NewZipf(theta, readPct float64) Spec {
+	return Spec{Kind: Zipf, ReadPct: readPct, Theta: theta}
+}
+
+// NewHotspot returns a hotspot spec whose hot window covers hotPct percent
+// of the rank space.
+func NewHotspot(hotPct, readPct float64) Spec {
+	return Spec{Kind: Hotspot, ReadPct: readPct, HotPct: hotPct}
+}
+
+// Validate reports whether the spec's parameters are in range.
+func (s Spec) Validate() error {
+	if s.ReadPct < 0 || s.ReadPct > 100 || math.IsNaN(s.ReadPct) {
+		return fmt.Errorf("workload: read%% %v outside [0, 100]", s.ReadPct)
+	}
+	switch s.Kind {
+	case Uniform:
+	case Zipf:
+		if !(s.Theta > 0) || math.IsInf(s.Theta, 0) {
+			return fmt.Errorf("workload: zipf theta %v must be a positive finite number", s.Theta)
+		}
+	case Hotspot:
+		if !(s.HotPct > 0 && s.HotPct <= 100) {
+			return fmt.Errorf("workload: hotspot%% %v outside (0, 100]", s.HotPct)
+		}
+	default:
+		return fmt.Errorf("workload: unknown kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// String renders the spec in the syntax ParseSpec accepts.
+func (s Spec) String() string {
+	switch s.Kind {
+	case Zipf:
+		return fmt.Sprintf("zipf:%g:%g", s.Theta, s.ReadPct)
+	case Hotspot:
+		return fmt.Sprintf("hotspot:%g:%g", s.HotPct, s.ReadPct)
+	default:
+		return fmt.Sprintf("uniform:%g", s.ReadPct)
+	}
+}
+
+// Op is one operation of the stream.
+type Op struct {
+	Read bool
+	Key  int64
+}
+
+// Generator produces the deterministic operation stream for one spec.
+type Generator struct {
+	spec    Spec
+	initial keys.Set
+	domain  int64
+	rng     *xrand.RNG
+	// cum is the cumulative Zipf weight table over ranks (Zipf only):
+	// cum[i] = Σ_{r<=i+1} r^-Theta, normalized to cum[n-1] == 1.
+	cum []float64
+	// hotLo/hotHi bound the hot rank window (Hotspot only), inclusive.
+	hotLo, hotHi int
+}
+
+// NewGenerator builds the stream generator. Reads target the initial key
+// set by rank; writes are uniform over [0, domain). The generator is
+// deterministic: identical arguments produce identical streams.
+func NewGenerator(spec Spec, initial keys.Set, domain int64, seed uint64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if initial.Len() < 1 {
+		return nil, fmt.Errorf("workload: need a non-empty initial key set")
+	}
+	if domain < 1 {
+		return nil, fmt.Errorf("workload: need domain >= 1, got %d", domain)
+	}
+	g := &Generator{spec: spec, initial: initial, domain: domain, rng: xrand.New(seed)}
+	n := initial.Len()
+	switch spec.Kind {
+	case Zipf:
+		g.cum = make([]float64, n)
+		sum := 0.0
+		for r := 1; r <= n; r++ {
+			sum += math.Pow(float64(r), -spec.Theta)
+			g.cum[r-1] = sum
+		}
+		for i := range g.cum {
+			g.cum[i] /= sum
+		}
+	case Hotspot:
+		width := int(float64(n) * spec.HotPct / 100)
+		if width < 1 {
+			width = 1
+		}
+		g.hotLo = (n - width) / 2
+		g.hotHi = g.hotLo + width - 1
+	}
+	return g, nil
+}
+
+// readRank draws the next read's 0-based rank.
+func (g *Generator) readRank() int {
+	n := g.initial.Len()
+	switch g.spec.Kind {
+	case Zipf:
+		u := g.rng.Float64()
+		return sort.SearchFloat64s(g.cum, u)
+	case Hotspot:
+		if g.rng.Float64() < hotWindowShare {
+			return g.hotLo + g.rng.Intn(g.hotHi-g.hotLo+1)
+		}
+		return g.rng.Intn(n)
+	default:
+		return g.rng.Intn(n)
+	}
+}
+
+// Next draws the next operation of the stream.
+func (g *Generator) Next() Op {
+	if g.rng.Float64()*100 < g.spec.ReadPct {
+		return Op{Read: true, Key: g.initial.At(g.readRank())}
+	}
+	return Op{Key: g.rng.Int63n(g.domain)}
+}
+
+// Ops draws the next n operations.
+func (g *Generator) Ops(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+func fixture(t testing.TB, n int) keys.Set {
+	t.Helper()
+	ks, err := dataset.Uniform(xrand.New(3), n, int64(n)*20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestSpecValidation(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"negative-read":  NewUniform(-1),
+		"read-over-100":  NewUniform(101),
+		"nan-read":       NewUniform(math.NaN()),
+		"zero-theta":     NewZipf(0, 90),
+		"negative-theta": NewZipf(-1, 90),
+		"inf-theta":      NewZipf(math.Inf(1), 90),
+		"zero-hot":       NewHotspot(0, 90),
+		"hot-over-100":   NewHotspot(101, 90),
+		"unknown-kind":   {Kind: Kind(42), ReadPct: 90},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: invalid spec %+v accepted", name, spec)
+		}
+	}
+	for _, spec := range []Spec{NewUniform(0), NewUniform(100), NewZipf(1.1, 90), NewHotspot(1, 50)} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("valid spec %+v rejected: %v", spec, err)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	ks := fixture(t, 50)
+	if _, err := NewGenerator(NewZipf(0, 90), ks, 1000, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := NewGenerator(NewUniform(90), keys.Set{}, 1000, 1); err == nil {
+		t.Fatal("empty initial set accepted")
+	}
+	if _, err := NewGenerator(NewUniform(90), ks, 0, 1); err == nil {
+		t.Fatal("zero domain accepted")
+	}
+}
+
+// TestStreamDeterminism: identical arguments produce identical streams;
+// different seeds produce different ones.
+func TestStreamDeterminism(t *testing.T) {
+	ks := fixture(t, 200)
+	for _, spec := range []Spec{NewUniform(90), NewZipf(1.1, 90), NewHotspot(2, 90)} {
+		a, err := NewGenerator(spec, ks, 10_000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewGenerator(spec, ks, 10_000, 7)
+		c, _ := NewGenerator(spec, ks, 10_000, 8)
+		opsA, opsB, opsC := a.Ops(500), b.Ops(500), c.Ops(500)
+		if !reflect.DeepEqual(opsA, opsB) {
+			t.Fatalf("%s: same seed diverged", spec)
+		}
+		if reflect.DeepEqual(opsA, opsC) {
+			t.Fatalf("%s: different seeds produced identical streams", spec)
+		}
+	}
+}
+
+// TestReadWriteMix: the read fraction tracks ReadPct, reads always target
+// stored keys, and writes stay inside the domain.
+func TestReadWriteMix(t *testing.T) {
+	ks := fixture(t, 300)
+	const domain = 9_000
+	for _, spec := range []Spec{NewUniform(80), NewZipf(1.2, 80), NewHotspot(5, 80)} {
+		g, err := NewGenerator(spec, ks, domain, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads := 0
+		const total = 5_000
+		for _, op := range g.Ops(total) {
+			if op.Read {
+				reads++
+				if !ks.Contains(op.Key) {
+					t.Fatalf("%s: read key %d not stored", spec, op.Key)
+				}
+			} else if op.Key < 0 || op.Key >= domain {
+				t.Fatalf("%s: write key %d outside [0, %d)", spec, op.Key, domain)
+			}
+		}
+		frac := float64(reads) / total * 100
+		if frac < 75 || frac > 85 {
+			t.Fatalf("%s: read fraction %.1f%%, want ~80%%", spec, frac)
+		}
+	}
+}
+
+// TestZipfSkew: under Zipf the hottest rank must receive far more reads
+// than a deep rank, and skew must grow with theta.
+func TestZipfSkew(t *testing.T) {
+	ks := fixture(t, 500)
+	counts := func(theta float64) map[int64]int {
+		g, err := NewGenerator(NewZipf(theta, 100), ks, 1_000, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := map[int64]int{}
+		for _, op := range g.Ops(30_000) {
+			c[op.Key]++
+		}
+		return c
+	}
+	mild, hard := counts(0.8), counts(1.5)
+	top := ks.At(0)
+	deep := ks.At(400)
+	if mild[top] <= mild[deep]*3 {
+		t.Fatalf("theta=0.8: rank-1 count %d not ≫ rank-401 count %d", mild[top], mild[deep])
+	}
+	if hard[top] <= mild[top] {
+		t.Fatalf("skew did not grow with theta: %d vs %d", hard[top], mild[top])
+	}
+}
+
+// TestHotspotConcentration: most reads land inside the hot rank window.
+func TestHotspotConcentration(t *testing.T) {
+	ks := fixture(t, 1_000)
+	const hotPct = 2.0
+	g, err := NewGenerator(NewHotspot(hotPct, 100), ks, 1_000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := int(float64(ks.Len()) * hotPct / 100)
+	lo := (ks.Len() - width) / 2
+	hi := lo + width - 1
+	inWindow := 0
+	const total = 20_000
+	for _, op := range g.Ops(total) {
+		r, ok := ks.Rank(op.Key)
+		if !ok {
+			t.Fatalf("read key %d not stored", op.Key)
+		}
+		if r-1 >= lo && r-1 <= hi {
+			inWindow++
+		}
+	}
+	frac := float64(inWindow) / total
+	// hotWindowShare (0.9) plus the uniform tail's contribution.
+	if frac < 0.85 {
+		t.Fatalf("only %.1f%% of hotspot reads in the hot window", frac*100)
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{NewUniform(90), NewUniform(42.5), NewZipf(1.1, 90), NewHotspot(2, 75)} {
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip %s -> %+v, want %+v", spec, back, spec)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := map[string]Spec{
+		"uniform":      NewUniform(90),
+		"uniform:80":   NewUniform(80),
+		"zipf":         NewZipf(1.1, 90),
+		"zipf:1.5":     NewZipf(1.5, 90),
+		"zipf:1.5:70":  NewZipf(1.5, 70),
+		"hotspot":      NewHotspot(1, 90),
+		"hotspot:5":    NewHotspot(5, 90),
+		"hotspot:5:60": NewHotspot(5, 60),
+	}
+	for in, want := range cases {
+		got, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q -> %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{
+		"", "zip", "uniform:x", "uniform:101", "uniform:-1", "uniform:80:90",
+		"zipf:0", "zipf:-2:50", "zipf:1:2:3", "hotspot:0", "hotspot:200",
+		"hotspot:5:x", "zipf:NaN", "uniform:NaN", "zipf:+Inf",
+	} {
+		if spec, err := ParseSpec(bad); err == nil {
+			t.Errorf("%q accepted as %+v", bad, spec)
+		}
+	}
+}
