@@ -277,12 +277,29 @@ func OnlinePoisonAttack(initial KeySet, opts OnlineOptions, execOpts ...AttackOp
 // Index backends, sharding, workloads, and the serving scenario
 // ---------------------------------------------------------------------------
 
-// IndexBackend is the contract every index substrate serves through:
-// probe-counted Lookup/ProbeSum, policy-driven Insert, explicit Retrain,
-// and a uniform Stats surface. DynamicIndex, BTree, SingleModelIndex,
-// ShardedIndex, and GuardedBackend all satisfy it, and the scenarios
-// (OnlinePoisonAttack, ServeAttack) drive victims only through it.
+// IndexBackend is the contract every index substrate serves through,
+// composed of three planes: IndexReader (immutable snapshots), IndexWriter
+// (delta-plane inserts), and IndexAdmin (explicit retrains + stats), plus
+// direct probe-counted reads against the current state. DynamicIndex,
+// BTree, SingleModelIndex, ShardedIndex, GuardedBackend, and
+// RetrainPipeline all satisfy it, and the scenarios (OnlinePoisonAttack,
+// ServeAttack, ChurnAttack) drive victims only through it.
 type IndexBackend = index.Backend
+
+// IndexReader is the read plane: it publishes the immutable Snapshot
+// lookups should be served from.
+type IndexReader = index.Reader
+
+// IndexWriter is the write plane: inserts into the backend's delta area.
+type IndexWriter = index.Writer
+
+// IndexAdmin is the maintenance plane: explicit Retrain plus Stats.
+type IndexAdmin = index.Admin
+
+// IndexSnapshot is an immutable point-in-time view of a backend's content:
+// its answers are frozen at capture, surviving any later mutation or
+// retrain of the backend it came from.
+type IndexSnapshot = index.Snapshot
 
 // BackendLookupResult reports a probe-counted backend point query.
 type BackendLookupResult = index.LookupResult
@@ -353,6 +370,31 @@ func NewWorkloadGenerator(w Workload, initial KeySet, domain int64, seed uint64)
 	return workload.NewGenerator(w, initial, domain, seed)
 }
 
+// RebuildCostModel prices one index rebuild in logical ticks (fixed plus
+// per-key components); the zero value makes every rebuild publish
+// instantly — the synchronous golden path.
+type RebuildCostModel = index.CostModel
+
+// ParseRebuildCost parses the rebuild-cost spec syntax of the churn and
+// serve subcommands: "zero", "fixed:F", or "linear:F:P[:U]".
+func ParseRebuildCost(s string) (RebuildCostModel, error) { return index.ParseCostModel(s) }
+
+// RetrainPipeline wraps any IndexBackend with the deterministic
+// background-retrain schedule: a retrain triggered at logical tick T keeps
+// the read plane on the pre-rebuild snapshot until tick T+cost, with
+// coalescing, staleness, and publish-latency accounting. It is itself an
+// IndexBackend. See DESIGN.md §7.
+type RetrainPipeline = index.Pipeline
+
+// PipelineChurnStats is a RetrainPipeline's cumulative accounting:
+// triggers, coalesces, publishes, stale ticks, and publish latency.
+type PipelineChurnStats = index.ChurnStats
+
+// NewRetrainPipeline wraps a backend with the given rebuild cost model.
+func NewRetrainPipeline(b IndexBackend, cost RebuildCostModel) *RetrainPipeline {
+	return index.NewPipeline(b, cost)
+}
+
 // ServeOptions parameterizes ServeAttack.
 type ServeOptions = core.ServeOptions
 
@@ -376,6 +418,29 @@ type ServeShardReport = core.ServeShardReport
 // any result byte.
 func ServeAttack(initial KeySet, opts ServeOptions, execOpts ...AttackOption) (ServeResult, error) {
 	return core.ServeAttack(initial, opts, execOpts...)
+}
+
+// ChurnOptions parameterizes ChurnAttack.
+type ChurnOptions = core.ChurnOptions
+
+// ChurnResult reports the retrain-churn scenario, one ChurnEpochReport per
+// epoch plus both pipelines' final accounting.
+type ChurnResult = core.ChurnResult
+
+// ChurnEpochReport is one churn epoch's end state: stale-read fractions,
+// publish latency in ticks, rebuild cost, coalescing, loss ratio against
+// the clean counterfactual, and inline probe costs.
+type ChurnEpochReport = core.ChurnEpochReport
+
+// ChurnAttack mounts the retrain-churn scenario: an adversary drip-feeds
+// its per-epoch budget into the ONE shard where each key buys the most
+// rebuild work, maximizing retrain frequency × rebuild cost × stale-window
+// exposure on a sharded index behind a RetrainPipeline, against a clean
+// counterfactual running the identical pipeline and operation stream.
+// WithParallelism fans out the oracle scans and rebuild fan-out without
+// changing any result byte.
+func ChurnAttack(initial KeySet, opts ChurnOptions, execOpts ...AttackOption) (ChurnResult, error) {
+	return core.ChurnAttack(initial, opts, execOpts...)
 }
 
 // PredictionOracle is query access to a deployed index's raw position

@@ -127,6 +127,37 @@ func ExampleServeAttack() {
 	// aggregate max 1.2x, worst shard 12.2x, imbalance 1.26
 }
 
+// Churning the rebuild pipeline: the attacker aims its whole budget at the
+// shard where each key buys the most rebuild work, and the damage shows up
+// as stale reads and publish latency rather than probe count alone.
+func ExampleChurnAttack() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 40_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cdfpoison.ChurnAttack(ks, cdfpoison.ChurnOptions{
+		Epochs:      4,
+		OpsPerEpoch: 200,
+		EpochBudget: 25,
+		Shards:      4,
+		Policy:      cdfpoison.RetrainAtBufferSize(16),
+		Workload:    cdfpoison.ZipfWorkload(1.1, 90),
+		Seed:        7,
+		Cost:        cdfpoison.RebuildCostModel{Fixed: 60},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epochs %d, poison keys %d, rebuild publishes %d (%d coalesced)\n",
+		len(res.Epochs), res.Poison.Len(), res.VictimChurn.Publishes, res.VictimChurn.Coalesced)
+	fmt.Printf("max stale fraction %.2f, max publish latency %d ticks (cost 60)\n",
+		res.MaxStaleFrac(), res.VictimChurn.MaxLatencyTicks)
+	// Output:
+	// epochs 4, poison keys 100, rebuild publishes 8 (3 coalesced)
+	// max stale fraction 0.70, max publish latency 75 ticks (cost 60)
+}
+
 // Parallelism is a pure performance knob: any worker count produces output
 // byte-identical to the sequential run (the determinism contract).
 func ExampleWithParallelism() {

@@ -9,8 +9,9 @@
 //	lisbench -fig 5 -scale quick      # one figure, test-sized
 //	lisbench -fig 6 -scale large -out results/
 //	lisbench -fig online -out results/   # online scenario: ratio/probes vs epoch
-//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR3.json
-//	lisbench -fig perf -scale quick -baseline BENCH_PR3.json   # CI regression gate
+//	lisbench -fig churn -out results/    # retrain-churn scenario: staleness vs epoch
+//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR5.json
+//	lisbench -fig perf -scale quick -baseline BENCH_PR5.json   # CI regression gate
 //
 // The perf sweep is machine-dependent by nature, so it is NOT part of -fig
 // all; with -baseline the command exits non-zero when any matched cell
@@ -43,13 +44,13 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|perf|all (all excludes perf)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|perf|all (all excludes perf)")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 	)
-	flag.StringVar(&perfBaseline, "baseline", "", "BENCH_PR3.json to compare the perf sweep against; exit 1 on regression")
+	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR5.json) to compare the perf sweep against; exit 1 on regression")
 	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
@@ -77,11 +78,12 @@ func main() {
 		"ablation": runAblations,
 		"online":   runOnline,
 		"serve":    runServe,
+		"churn":    runChurn,
 		"perf":     runPerf,
 	}
 	// perf is deliberately absent: wall-clock benchmarks do not belong in a
 	// figures-regeneration run (they are requested explicitly).
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve"}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn"}
 
 	var selected []string
 	if *fig == "all" {
@@ -114,6 +116,8 @@ func name(f string) string {
 		return "online scenario"
 	case "serve":
 		return "serving scenario"
+	case "churn":
+		return "retrain-churn scenario"
 	case "perf":
 		return "perf sweep"
 	default:
@@ -564,13 +568,67 @@ func runServe(opts bench.Options, out string) error {
 	return writeCSV(out, "serve.csv", tb)
 }
 
+// perfArtifact is the perf report's file name: the repository root holds
+// the checked-in baseline of the same name that CI gates against.
+const perfArtifact = "BENCH_PR5.json"
+
+// runChurn renders the retrain-churn sweep: the per-epoch staleness,
+// publish-latency, and loss trajectory of core.ChurnAttack across
+// rebuild-cost models and budgets.
+func runChurn(opts bench.Options, out string) error {
+	fmt.Println("=== Retrain-churn scenario: poisoning the rebuild pipeline itself ===")
+	res, err := bench.ChurnSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n = %d initial keys, %d shards, policy %s, %s mix, %d epochs per cell, %d ops/epoch\n",
+		res.Keys, res.Shards, res.Policy, res.Workload, res.EpochsPerCell, res.OpsPerEpoch)
+	tb := export.NewTable("cost", "budget_pct", "epoch", "target_shard", "reads", "writes",
+		"injected", "poison_total", "retrains", "publishes", "coalesced",
+		"stale_reads", "stale_frac", "clean_stale_frac", "stale_ticks", "rebuild_ticks",
+		"pub_lat_mean", "pub_lat_max", "clean_loss", "poisoned_loss", "ratio",
+		"clean_probes", "poisoned_probes", "probe_ratio")
+	for _, c := range res.Cells {
+		for _, e := range c.Epochs {
+			tb.AddRow(c.Cost.String(), export.F(c.BudgetPct), fmt.Sprint(e.Epoch),
+				fmt.Sprint(e.TargetShard), fmt.Sprint(e.Reads), fmt.Sprint(e.Writes),
+				fmt.Sprint(e.Injected), fmt.Sprint(e.PoisonTotal), fmt.Sprint(e.Retrains),
+				fmt.Sprint(e.Publishes), fmt.Sprint(e.Coalesced),
+				fmt.Sprint(e.StaleReads), export.F(e.StaleFrac), export.F(e.CleanStaleFrac),
+				fmt.Sprint(e.StaleTicks), fmt.Sprint(e.RebuildTicks),
+				export.F(e.MeanPublishLatency), fmt.Sprint(e.MaxPublishLatency),
+				export.F(e.CleanLoss), export.F(e.PoisonedLoss), export.F(e.RatioLoss),
+				export.F(e.CleanProbes), export.F(e.PoisonedProbes), export.F(e.ProbeRatio))
+		}
+	}
+	tb.Render(os.Stdout)
+	// Stale-fraction-vs-epoch chart for the highest-budget cell of each
+	// non-zero cost model.
+	var series []export.Series
+	for _, c := range res.Cells {
+		if c.Cost.Zero() || c.BudgetPct != res.Cells[len(res.Cells)-1].BudgetPct {
+			continue
+		}
+		var xs, ys []float64
+		for _, e := range c.Epochs {
+			xs = append(xs, float64(e.Epoch))
+			ys = append(ys, e.StaleFrac)
+		}
+		series = append(series, export.Series{Name: c.Cost.String(), X: xs, Y: ys})
+	}
+	export.RenderChart(os.Stdout, "Victim stale-read fraction vs epoch (highest budget)", series, 64, 12)
+	fmt.Printf("max stale-read fraction: %.2f, max publish latency: %d ticks\n",
+		res.MaxStaleFrac(), res.MaxLatency())
+	return writeCSV(out, "churn.csv", tb)
+}
+
 // runPerf measures the fixed attack×n×workers cell list (bench.PerfSweep),
-// prints the table, writes BENCH_PR3.json when -out is given, and — when
-// -baseline names a previous report — fails on >perfTol ns/op (or
+// prints the table, writes the perf artifact when -out is given, and —
+// when -baseline names a previous report — fails on >perfTol ns/op (or
 // allocs/op) regression in any matched cell. EXPERIMENTS.md's perf table
 // records the checked-in baseline's provenance.
 func runPerf(opts bench.Options, out string) error {
-	fmt.Println("=== Perf sweep: attack throughput trajectory (BENCH_PR3.json) ===")
+	fmt.Println("=== Perf sweep: attack throughput trajectory (" + perfArtifact + ") ===")
 	rep, err := bench.PerfSweep(opts)
 	if err != nil {
 		return err
@@ -590,7 +648,7 @@ func runPerf(opts bench.Options, out string) error {
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(out, "BENCH_PR3.json")
+		path := filepath.Join(out, perfArtifact)
 		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}

@@ -73,6 +73,30 @@ func TestRunOnline(t *testing.T) {
 	runAndCheckCSV(t, "online", runOnline, "online.csv")
 }
 
+func TestRunChurn(t *testing.T) {
+	runAndCheckCSV(t, "churn", runChurn, "churn.csv")
+}
+
+func TestChurnCSVRowCount(t *testing.T) {
+	// 6 quick cells (3 cost models × 2 budgets) × 3 epochs + header.
+	dir := t.TempDir()
+	if err := silently(t, func() error { return runChurn(quickOpts(), dir) }); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(filepath.Join(dir, "churn.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6*3 + 1; len(rows) != want {
+		t.Fatalf("churn.csv has %d rows, want %d", len(rows), want)
+	}
+}
+
 func TestRunServe(t *testing.T) {
 	runAndCheckCSV(t, "serve", runServe, "serve.csv")
 }
@@ -155,13 +179,13 @@ func TestRunPerfWritesReport(t *testing.T) {
 	if err := silently(t, func() error { return runPerf(perfQuickOpts(), dir) }); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_PR3.json"))
+	blob, err := os.ReadFile(filepath.Join(dir, perfArtifact))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var rep bench.PerfReport
 	if err := json.Unmarshal(blob, &rep); err != nil {
-		t.Fatalf("BENCH_PR3.json unparseable: %v", err)
+		t.Fatalf("%s unparseable: %v", perfArtifact, err)
 	}
 	if rep.Schema != bench.PerfSchema || len(rep.Records) == 0 {
 		t.Fatalf("report shape: schema=%q records=%d", rep.Schema, len(rep.Records))
@@ -173,7 +197,7 @@ func TestRunPerfBaselineGate(t *testing.T) {
 	if err := silently(t, func() error { return runPerf(perfQuickOpts(), dir) }); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "BENCH_PR3.json")
+	path := filepath.Join(dir, perfArtifact)
 
 	// Comparing a run against its own report must pass (tolerance absorbs
 	// run-to-run noise at Trials=1 only statistically, so use a wide one).
@@ -216,10 +240,10 @@ func TestRunPerfBaselineGate(t *testing.T) {
 	}
 }
 
-// TestCheckedInPerfBaselineParses: the repository-root BENCH_PR3.json that
+// TestCheckedInPerfBaselineParses: the repository-root perf baseline that
 // CI gates against must stay a valid report for the current schema.
 func TestCheckedInPerfBaselineParses(t *testing.T) {
-	blob, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR3.json"))
+	blob, err := os.ReadFile(filepath.Join("..", "..", perfArtifact))
 	if err != nil {
 		t.Fatalf("checked-in baseline missing: %v", err)
 	}
@@ -239,7 +263,7 @@ func TestCheckedInPerfBaselineParses(t *testing.T) {
 	// cell list without running any attack.
 	for _, k := range bench.PerfCellKeys() {
 		if !keys[k] {
-			t.Errorf("cell %s has no baseline record; regenerate BENCH_PR3.json", k)
+			t.Errorf("cell %s has no baseline record; regenerate %s", k, perfArtifact)
 		}
 	}
 }

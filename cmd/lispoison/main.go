@@ -9,6 +9,7 @@
 //	lispoison attack -in keys.txt -percent 10 -modelsize 100 -o p.txt  # RMI attack
 //	lispoison online -in keys.txt -epochs 8 -percent 2 -policy buffer:256 -o p.txt
 //	lispoison serve  -in keys.txt -epochs 6 -percent 2 -shards 4 -workload zipf:1.1:90
+//	lispoison churn  -in keys.txt -epochs 6 -percent 2 -shards 4 -policy buffer:64 -cost linear:10:25:100
 //	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
 //	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
 //
@@ -22,7 +23,14 @@
 // attacker against a -shards-way sharded index while an honest population
 // drives a -workload mix (uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]) of
 // reads and writes; the per-epoch table adds probe costs, shard imbalance,
-// and the worst per-shard loss ratio.
+// and the worst per-shard loss ratio. Both serve and churn accept a -cost
+// rebuild model (zero | fixed:F | linear:F:P[:U]) pricing each retrain in
+// logical ticks on the background-retrain pipeline.
+//
+// The churn subcommand mounts the retrain-churn scenario: the attacker
+// drip-feeds keys into the one shard where each key buys the most rebuild
+// work, and the per-epoch table reports stale-read fractions, publish
+// latency in ticks, and the loss ratio against the clean counterfactual.
 //
 // Every command is deterministic given -seed.
 package main
@@ -49,6 +57,8 @@ func main() {
 		err = cmdOnline(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "churn":
+		err = cmdChurn(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "defend":
@@ -66,12 +76,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|eval|defend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|eval|defend> [flags]
 
   gen     generate a key dataset (uniform|normal|lognormal|salaries|osm)
   attack  poison a key file (linear regression on CDF, or two-stage RMI)
   online  drip-feed poison into an updatable index across retrain cycles
   serve   poison a sharded serving index under an honest read/write load
+  churn   maximize retrain churn and stale windows on the rebuild pipeline
   eval    measure ratio loss of a poisoned file against the clean file
   defend  run the TRIM defense on a poisoned file
 
@@ -320,6 +331,7 @@ func cmdServe(args []string) error {
 	percent := fs.Float64("percent", 2, "per-EPOCH poisoning percentage of the input keys")
 	shards := fs.Int("shards", 4, "shard count (1 = unsharded)")
 	policyStr := fs.String("policy", "manual", "per-shard retrain policy: manual | every:K | buffer:K")
+	costStr := fs.String("cost", "zero", "rebuild cost model: zero | fixed:F | linear:F:P[:U] (zero = synchronous)")
 	workloadStr := fs.String("workload", "zipf:1.1:90", "honest mix: uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]")
 	ops := fs.Int("ops", 0, "honest operations per epoch (default 10% of the input keys)")
 	seed := fs.Uint64("seed", 42, "rng seed for the operation stream")
@@ -334,6 +346,10 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	policy, err := cdfpoison.ParseRetrainPolicy(*policyStr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	cost, err := cdfpoison.ParseRebuildCost(*costStr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -353,6 +369,7 @@ func cmdServe(args []string) error {
 		Policy:      policy,
 		Workload:    mix,
 		Seed:        *seed,
+		RebuildCost: cost,
 	}, cdfpoison.WithParallelism(*workers))
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -372,6 +389,79 @@ func cmdServe(args []string) error {
 	if *out != "" {
 		if err := writeKeys(*out, res.Poison); err != nil {
 			return fmt.Errorf("serve: %w", err)
+		}
+		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
+	}
+	return nil
+}
+
+func cmdChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	epochs := fs.Int("epochs", 6, "number of serving epochs")
+	percent := fs.Float64("percent", 2, "per-EPOCH poisoning percentage of the input keys")
+	shards := fs.Int("shards", 4, "shard count (1 = unsharded)")
+	policyStr := fs.String("policy", "buffer:64", "per-shard retrain policy: manual | every:K | buffer:K")
+	costStr := fs.String("cost", "linear:10:25:100", "rebuild cost model: zero | fixed:F | linear:F:P[:U]")
+	workloadStr := fs.String("workload", "zipf:1.1:90", "honest mix: uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]")
+	ops := fs.Int("ops", 0, "honest operations per epoch (default 10% of the input keys)")
+	seed := fs.Uint64("seed", 42, "rng seed for the operation stream")
+	workers := fs.Int("workers", 0, "worker pool size: 0 = one per core, 1 = sequential; results are identical for any value")
+	out := fs.String("o", "", "optional output file for the injected poison keys")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("churn: -in is required")
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	policy, err := cdfpoison.ParseRetrainPolicy(*policyStr)
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	cost, err := cdfpoison.ParseRebuildCost(*costStr)
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	mix, err := cdfpoison.ParseWorkload(*workloadStr)
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	opsPerEpoch := *ops
+	if opsPerEpoch == 0 {
+		opsPerEpoch = ks.Len() / 10
+	}
+	res, err := cdfpoison.ChurnAttack(ks, cdfpoison.ChurnOptions{
+		Epochs:      *epochs,
+		OpsPerEpoch: opsPerEpoch,
+		EpochBudget: int(float64(ks.Len()) * *percent / 100),
+		Shards:      *shards,
+		Policy:      policy,
+		Workload:    mix,
+		Seed:        *seed,
+		Cost:        cost,
+	}, cdfpoison.WithParallelism(*workers))
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	fmt.Printf("churn attack: %d shards, policy=%s, cost=%s, workload=%s, %d ops/epoch over %d epochs\n",
+		*shards, policy, cost, mix, opsPerEpoch, *epochs)
+	fmt.Printf("%5s %6s %9s %7s %9s %9s %10s %10s %8s %8s %7s %11s\n",
+		"epoch", "shard", "injected", "stale%", "publish", "coalesce", "lat_mean", "lat_max",
+		"rebuild", "stale_t", "ratio", "probe_ratio")
+	for _, e := range res.Epochs {
+		fmt.Printf("%5d %6d %9d %6.1f%% %9d %9d %10.1f %10d %8d %8d %7.2f %11.2f\n",
+			e.Epoch, e.TargetShard, e.Injected, e.StaleFrac*100, e.Publishes, e.Coalesced,
+			e.MeanPublishLatency, e.MaxPublishLatency, e.RebuildTicks, e.StaleTicks,
+			e.RatioLoss, e.ProbeRatio)
+	}
+	fmt.Printf("max stale fraction %.2f, max publish latency %d ticks, final ratio %.2f×, %d poison keys, %d retrains\n",
+		res.MaxStaleFrac(), res.VictimChurn.MaxLatencyTicks, res.FinalRatio(),
+		res.Poison.Len(), res.Retrains)
+	if *out != "" {
+		if err := writeKeys(*out, res.Poison); err != nil {
+			return fmt.Errorf("churn: %w", err)
 		}
 		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
 	}

@@ -307,6 +307,81 @@ func TestServeWorkersFlagDeterminism(t *testing.T) {
 	}
 }
 
+func TestChurnMode(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	poisonFile := tmpPath(t, "poison.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "400", "-domain", "16000", "-seed", "5", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdChurn([]string{"-in", keysFile, "-epochs", "3", "-percent", "5",
+		"-shards", "4", "-policy", "buffer:12", "-cost", "fixed:30",
+		"-workload", "zipf:1.1:85", "-o", poisonFile}); err != nil {
+		t.Fatalf("churn: %v", err)
+	}
+	poison, err := readKeys(poisonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poison.Len() == 0 || poison.Len() > 60 {
+		t.Fatalf("poison count %d, want (0, 60]", poison.Len())
+	}
+	clean, _ := readKeys(keysFile)
+	for _, k := range poison.Keys() {
+		if clean.Contains(k) {
+			t.Fatalf("poison key %d collides with a clean key", k)
+		}
+	}
+}
+
+func TestChurnRejectsBadInput(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "4000", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdChurn([]string{"-epochs", "2"}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := cmdChurn([]string{"-in", keysFile, "-cost", "cubic:3"}); err == nil {
+		t.Fatal("unknown cost model accepted")
+	}
+	if err := cmdChurn([]string{"-in", keysFile, "-cost", "fixed:-2"}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if err := cmdChurn([]string{"-in", keysFile, "-policy", "hourly"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := cmdChurn([]string{"-in", keysFile, "-workload", "pareto"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestChurnWorkersFlagDeterminism: -workers must never change the churn
+// scenario's poison output — the CLI leg of the workers=1 == workers=NumCPU
+// byte-identity contract for ChurnAttack.
+func TestChurnWorkersFlagDeterminism(t *testing.T) {
+	keysFile := tmpPath(t, "keys.txt")
+	if err := cmdGen([]string{"-dist", "uniform", "-n", "500", "-domain", "20000", "-seed", "13", "-o", keysFile}); err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers string) string {
+		t.Helper()
+		out := tmpPath(t, "poison.txt")
+		if err := cmdChurn([]string{"-in", keysFile, "-epochs", "2", "-percent", "3",
+			"-shards", "2", "-policy", "buffer:8", "-cost", "linear:10:25:100",
+			"-workload", "hotspot:2:85", "-workers", workers, "-o", out}); err != nil {
+			t.Fatalf("churn -workers %s: %v", workers, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if seq, par := run("1"), run("4"); seq != par {
+		t.Fatal("churn attack output depends on -workers")
+	}
+}
+
 func TestEvalRejectsOverlap(t *testing.T) {
 	keysFile := tmpPath(t, "keys.txt")
 	if err := cmdGen([]string{"-dist", "uniform", "-n", "100", "-domain", "1000", "-o", keysFile}); err != nil {

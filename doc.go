@@ -61,6 +61,19 @@
 //	})
 //	fmt.Println(res.MaxRatio(), res.MaxShardRatio()) // aggregate vs worst shard
 //
+// Attacking the REBUILD PIPELINE itself — the retrain-churn scenario
+// (DESIGN.md §7): reads are served through snapshot isolation, each
+// rebuild costs logical ticks before it publishes, and ChurnAttack aims
+// its budget at the shard where each key buys the most rebuild work:
+//
+//	res, _ := cdfpoison.ChurnAttack(ks, cdfpoison.ChurnOptions{
+//	    Epochs: 6, OpsPerEpoch: 500, EpochBudget: 50, Shards: 4,
+//	    Policy:   cdfpoison.RetrainAtBufferSize(64),
+//	    Workload: cdfpoison.ZipfWorkload(1.1, 90),
+//	    Cost:     cdfpoison.RebuildCostModel{Fixed: 40},
+//	})
+//	fmt.Println(res.MaxStaleFrac(), res.VictimChurn.MaxLatencyTicks)
+//
 // These snippets are compiled and output-checked as Example functions in
 // api_example_test.go.
 //

@@ -88,6 +88,9 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			// cmd/lisbench) cite these subsections.
 			"Incremental kernel invariants",
 			"Allocation budget",
+			// internal/index (planes, cost models, pipeline), the churn
+			// scenario (internal/core/churn.go), and api.go cite §7.
+			"§7 Read/write/admin planes and the retrain pipeline",
 		},
 		// doc.go promises the paper-vs-measured record; api.go cites Ext. F;
 		// bench/perf.go and the CI gate cite the perf trajectory.
@@ -95,11 +98,18 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"paper vs. measured",
 			"Online scenario",
 			"Serving scenario",
+			"Retrain-churn scenario",
 			"-fig serve",
 			"serve.csv",
+			"-fig churn",
+			"churn.csv",
 			"| F |",
 			"-seed 42",
+			// BENCH_PR5.json is the live baseline the CI gate and
+			// internal/bench/perf.go cite; BENCH_PR3.json stays recorded as
+			// the previous trajectory point.
 			"BENCH_PR3.json",
+			"BENCH_PR5.json",
 		},
 		// doc.go points readers at the catalog and sweep instructions.
 		"README.md": {
@@ -107,7 +117,9 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"-workers",
 			"OnlinePoisonAttack",
 			"ServeAttack",
+			"ChurnAttack",
 			"NewShardedIndex",
+			"NewRetrainPipeline",
 			"figure sweeps",
 		},
 	} {

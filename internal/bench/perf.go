@@ -7,10 +7,11 @@ package bench
 // this harness existed the repository had no recorded trajectory proving
 // any optimization actually landed. PerfSweep measures a FIXED cell list
 // (attack × n × workers, identical at every Scale so reports from any two
-// runs can be compared record-by-record), and the report serializes to
-// BENCH_PR3.json: the checked-in baseline at the repository root that CI
-// replays against (ComparePerf) and that EXPERIMENTS.md's perf table cites.
-// Scale only controls how long each cell is sampled, never what it runs.
+// runs can be compared record-by-record), and the report serializes to the
+// perf artifact (BENCH_PR5.json at the repository root — BENCH_PR3.json is
+// the previous trajectory point): the checked-in baseline CI replays
+// against (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale
+// only controls how long each cell is sampled, never what it runs.
 
 import (
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/dataset"
 	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/workload"
 	"cdfpoison/internal/xrand"
@@ -107,6 +109,19 @@ func perfCells() []perfCell {
 				Policy:      dynamic.ManualPolicy(),
 				Workload:    workload.NewZipf(1.1, 90),
 				Seed:        99,
+			}, core.WithWorkers(w))
+			return err
+		}},
+		{attack: "churn", n: 4_000, p: 80, op: func(ks keys.Set, w int) error {
+			_, err := core.ChurnAttack(ks, core.ChurnOptions{
+				Epochs:      3,
+				OpsPerEpoch: 200,
+				EpochBudget: 80,
+				Shards:      4,
+				Policy:      dynamic.BufferLimit(32),
+				Workload:    workload.NewZipf(1.1, 90),
+				Seed:        99,
+				Cost:        index.CostModel{Fixed: 50},
 			}, core.WithWorkers(w))
 			return err
 		}},

@@ -25,6 +25,21 @@ func (t *Tree) Lookup(k int64) index.LookupResult {
 // backends.
 func (t *Tree) Retrain() {}
 
+// RetrainPossible is always false: the tree rebalances incrementally and
+// never retrains on the write path (index.TriggerPredictor) — which is
+// what spares a pipeline-wrapped B-Tree the O(n) clone a pre-insert
+// snapshot would otherwise cost on every write.
+func (t *Tree) RetrainPossible() bool { return false }
+
+// Snapshot freezes the current content as an independent structural clone.
+// A B-Tree restructures on every write, so — unlike the learned backends,
+// whose bases are immutable and whose buffers are copy-on-write — nothing
+// cheaper than an O(n) copy can be frozen; the probe counts through the
+// clone are identical to the live tree's at capture time. Backends that
+// retrain rarely (or never, like this one) pay this only when a snapshot
+// is actually requested.
+func (t *Tree) Snapshot() index.Snapshot { return t.Clone() }
+
 // Keys materializes the stored keys as a sorted set, O(n). Insert rejects
 // negative keys, so the content always satisfies the set's invariants.
 func (t *Tree) Keys() keys.Set {

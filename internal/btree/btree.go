@@ -402,6 +402,28 @@ func (n *node) ascendRange(lo, hi int64, fn func(k int64) bool) bool {
 	return true
 }
 
+// clone deep-copies the subtree: fresh nodes, fresh key/count slices, same
+// contents. Probe counts through the copy are identical to the original's
+// because the structure is identical.
+func (n *node) clone() *node {
+	c := &node{keys: append([]int64(nil), n.keys...)}
+	if !n.leaf() {
+		c.children = make([]*node, len(n.children))
+		for i, ch := range n.children {
+			c.children[i] = ch.clone()
+		}
+		c.counts = append([]int(nil), n.counts...)
+	}
+	return c
+}
+
+// Clone returns an independent structural copy of the tree in O(n): same
+// keys, same node layout, so every lookup answers with the same probe
+// count. Mutating either tree afterwards leaves the other untouched.
+func (t *Tree) Clone() *Tree {
+	return &Tree{root: t.root.clone(), degree: t.degree, size: t.size}
+}
+
 // Bulk builds a tree from keys by repeated insertion.
 func Bulk(degree int, ks []int64) (*Tree, error) {
 	t, err := New(degree)

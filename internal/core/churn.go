@@ -1,0 +1,351 @@
+package core
+
+// The retrain-churn attack: the scenario the background-retrain pipeline
+// exists for. Where ServeAttack maximizes model loss, ChurnAttack's
+// adversary maximizes retrain frequency × rebuild cost × stale-window
+// loss — the complexity-attack objective of "Algorithmic Complexity
+// Attacks on Dynamic Learned Indexes" (PAPERS.md), mounted against the
+// sharded serving index behind index.Pipeline. See DESIGN.md §7.
+
+import (
+	"fmt"
+	"math"
+
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/shard"
+	"cdfpoison/internal/workload"
+)
+
+// ChurnOptions parameterizes the retrain-churn scenario.
+type ChurnOptions struct {
+	// Epochs is the number of serving epochs (>= 1).
+	Epochs int
+	// OpsPerEpoch is the honest operation count per epoch, drawn from
+	// Workload (>= 0). Every operation — honest or poison — advances the
+	// logical clock by one tick.
+	OpsPerEpoch int
+	// EpochBudget is the attacker's poison-key budget per epoch (>= 0),
+	// drip-fed evenly through the epoch's honest traffic.
+	EpochBudget int
+	// Shards is the victim's shard count (>= 1).
+	Shards int
+	// Policy is each shard's merge-and-retrain policy. BufferThreshold is
+	// the churn attacker's natural prey — every K accepted keys into one
+	// shard buys one rebuild of that whole shard — but all policies work;
+	// with Manual the scenario force-retrains at every epoch end exactly
+	// like the serve scenario.
+	Policy dynamic.RetrainPolicy
+	// Workload is the honest traffic mix.
+	Workload workload.Spec
+	// Domain is the write-key universe size; 0 defaults to twice the
+	// initial key span.
+	Domain int64
+	// Seed drives the workload stream.
+	Seed uint64
+	// Cost prices each rebuild in logical ticks (index.CostModel). The
+	// zero model degenerates the pipeline to the synchronous path: no
+	// stale windows, no publish latency — the scenario still runs and its
+	// stale columns read zero (TestChurnZeroCostDegenerates).
+	Cost index.CostModel
+}
+
+func (o ChurnOptions) domain(initial keys.Set) int64 {
+	if o.Domain > 0 {
+		return o.Domain
+	}
+	return 2 * (initial.Max() + 1)
+}
+
+func (o ChurnOptions) validate() error {
+	if o.Epochs < 1 {
+		return fmt.Errorf("core: churn scenario needs Epochs >= 1, got %d", o.Epochs)
+	}
+	if o.OpsPerEpoch < 0 {
+		return fmt.Errorf("core: negative ops per epoch %d", o.OpsPerEpoch)
+	}
+	if o.EpochBudget < 0 {
+		return fmt.Errorf("core: negative per-epoch budget %d", o.EpochBudget)
+	}
+	if o.Shards < 1 {
+		return fmt.Errorf("core: churn scenario needs Shards >= 1, got %d", o.Shards)
+	}
+	if err := o.Cost.Validate(); err != nil {
+		return err
+	}
+	return o.Workload.Validate()
+}
+
+// ChurnEpochReport is the scenario state measured at the end of one epoch.
+// Reads are served INLINE at their tick against the pipeline's published
+// (possibly stale) read plane, so the probe and staleness columns reflect
+// what the honest population actually experienced — not an end-of-epoch
+// re-evaluation.
+type ChurnEpochReport struct {
+	Epoch int // 1-based
+	// Reads/Writes count this epoch's honest operations; Injected is this
+	// epoch's accepted poison; TargetShard is the shard the attacker chose
+	// to churn this epoch.
+	Reads, Writes int
+	Injected      int
+	TargetShard   int
+	// PoisonTotal, Retrains, and CleanRetrains are cumulative.
+	PoisonTotal   int
+	Retrains      int // victim backend retrains, summed across shards
+	CleanRetrains int
+	// Stale-read accounting for THIS epoch's inline reads: a read is stale
+	// when it was served while a rebuild was in flight.
+	StaleReads      int
+	CleanStaleReads int
+	StaleFrac       float64
+	CleanStaleFrac  float64
+	// Victim pipeline accounting, cumulative: completed publishes,
+	// coalesced triggers, stale ticks, summed rebuild cost, and
+	// trigger→publish latency (mean/max) — latency above the raw rebuild
+	// cost is queueing delay, the churn attacker's objective.
+	Publishes          int
+	Coalesced          int
+	StaleTicks         int64
+	RebuildTicks       int64
+	MeanPublishLatency float64
+	MaxPublishLatency  int64
+	// Aggregate live model-vs-content loss (key-weighted across shards)
+	// and the ratio against the clean counterfactual, as in ServeAttack.
+	CleanLoss    float64
+	PoisonedLoss float64
+	RatioLoss    float64
+	// Probe cost of this epoch's inline reads on both read planes: exact
+	// totals, means per read, and the victim/clean ratio.
+	CleanProbeTotal    int64
+	PoisonedProbeTotal int64
+	CleanProbes        float64
+	PoisonedProbes     float64
+	ProbeRatio         float64
+}
+
+// ChurnResult reports the full retrain-churn scenario.
+type ChurnResult struct {
+	Shards   int
+	Epochs   []ChurnEpochReport
+	Poison   keys.Set // union of all accepted poison keys
+	Retrains int      // victim backend retrains at scenario end
+	// VictimChurn / CleanChurn are the pipelines' final accounting.
+	VictimChurn index.ChurnStats
+	CleanChurn  index.ChurnStats
+}
+
+// FinalRatio returns the last epoch's aggregate loss ratio.
+func (r ChurnResult) FinalRatio() float64 {
+	if len(r.Epochs) == 0 {
+		return 1
+	}
+	return r.Epochs[len(r.Epochs)-1].RatioLoss
+}
+
+// MaxStaleFrac returns the worst per-epoch victim stale-read fraction —
+// the headline staleness number.
+func (r ChurnResult) MaxStaleFrac() float64 {
+	best := 0.0
+	for _, e := range r.Epochs {
+		if e.StaleFrac > best {
+			best = e.StaleFrac
+		}
+	}
+	return best
+}
+
+// MaxProbeRatio returns the worst per-epoch victim/clean probe ratio.
+func (r ChurnResult) MaxProbeRatio() float64 {
+	best := 0.0
+	for _, e := range r.Epochs {
+		if e.ProbeRatio > best {
+			best = e.ProbeRatio
+		}
+	}
+	return best
+}
+
+// churnTarget scores each shard for the churn attacker: expected rebuild
+// price × expected rebuilds the budget can buy there this epoch. The
+// rebuild price is the cost model on the shard's current size; the trigger
+// estimate depends on the policy — a BufferThreshold shard that is already
+// B keys into its K-key budget needs only K−B more, an EveryK shard ticks
+// on every insert, and a Manual victim rebuilds once per epoch regardless
+// (so only the price differentiates shards). Ties break toward the lowest
+// shard number; everything is pure integer/float arithmetic on observable
+// state, so the choice is deterministic.
+func churnTarget(v *shard.Index, policy dynamic.RetrainPolicy, budget int, cost index.CostModel) int {
+	best, bestScore := 0, math.Inf(-1)
+	for i := 0; i < v.NumShards(); i++ {
+		s := v.Shard(i)
+		price := float64(cost.Ticks(s.Len() + budget))
+		var triggers float64
+		switch policy.Kind {
+		case dynamic.BufferThreshold:
+			triggers = float64(s.BufferLen()+budget) / float64(policy.K)
+		case dynamic.EveryK:
+			triggers = float64(budget) / float64(policy.K)
+		default: // Manual: one epoch-end rebuild either way
+			triggers = 1
+		}
+		if score := price * triggers; score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// ChurnAttack mounts the retrain-churn scenario: an adversary with a
+// per-epoch key budget drip-feeds poison into the ONE shard where each key
+// buys the most rebuild work, while an honest population reads and writes
+// the sharded index through the background-retrain pipeline. The clean
+// counterfactual runs the identical pipeline, policy, and operation
+// stream, so every stale or slow read the victim's population suffers
+// beyond the counterfactual's is attacker-caused.
+//
+// Each epoch:
+//
+//  1. The attacker inspects the victim's live per-shard state, picks the
+//     target shard maximizing rebuild-price × expected-triggers
+//     (churnTarget), and computes its poison keys with Algorithm 1 against
+//     THAT SHARD's visible content — poison stays interior to the shard's
+//     range, so the frozen router delivers every key to the target.
+//  2. The epoch's honest operations stream through both pipelines, one
+//     tick each. Reads are served inline from the published read plane:
+//     probes and staleness are recorded per read, for victim and clean
+//     alike. The poison budget is drip-fed evenly through the honest
+//     stream (one more key whenever the epoch's elapsed-op fraction
+//     passes the injected fraction), each injection one tick.
+//  3. With dynamic.Manual both pipelines are force-retrained at epoch end;
+//     other policies trigger organically — including from the attacker's
+//     own inserts, which under BufferThreshold is precisely the lever.
+//  4. The epoch report captures stale-read fractions, publish latency,
+//     coalescing, rebuild ticks, live loss ratios, and inline probe costs.
+//
+// Determinism contract: WithWorkers parallelism reaches only the per-epoch
+// oracle's candidate scans and the epoch-end rebuild fan-out, both of
+// which produce byte-identical results for any worker count
+// (TestChurnWorkerEquivalence at scenario level, TestChurnSweepWorker
+// Equivalence at sweep level, TestChurnWorkersFlagDeterminism at CLI
+// level). WithCancellation aborts between epochs and inside the oracle.
+func ChurnAttack(initial keys.Set, opts ChurnOptions, execOpts ...Option) (ChurnResult, error) {
+	if err := opts.validate(); err != nil {
+		return ChurnResult{}, err
+	}
+	vShard, err := shard.New(initial, opts.Shards, opts.Policy)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	cShard, err := shard.New(initial, opts.Shards, opts.Policy)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	gen, err := workload.NewGenerator(opts.Workload, initial, opts.domain(initial), opts.Seed)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	ex := newExec(execOpts)
+	victim := index.NewPipeline(vShard, opts.Cost).WithPool(ex.ctx, ex.pool)
+	clean := index.NewPipeline(cShard, opts.Cost).WithPool(ex.ctx, ex.pool)
+	tick := func(n int) {
+		victim.Tick(n)
+		clean.Tick(n)
+	}
+
+	res := ChurnResult{Shards: opts.Shards, Epochs: make([]ChurnEpochReport, 0, opts.Epochs)}
+	var allPoison []int64
+	for e := 0; e < opts.Epochs; e++ {
+		if err := ex.ctx.Err(); err != nil {
+			return ChurnResult{}, err
+		}
+		rep := ChurnEpochReport{Epoch: e + 1}
+
+		// 1. Plan the epoch's churn: target shard and poison keys.
+		var poison []int64
+		if opts.EpochBudget > 0 {
+			rep.TargetShard = churnTarget(vShard, opts.Policy, opts.EpochBudget, opts.Cost)
+			g, err := GreedyMultiPoint(vShard.Shard(rep.TargetShard).Keys(), opts.EpochBudget, execOpts...)
+			if err != nil {
+				return ChurnResult{}, fmt.Errorf("core: churn epoch %d oracle: %w", e+1, err)
+			}
+			poison = g.Poison
+		}
+
+		// 2. Serve the epoch: honest ops with the poison drip interleaved.
+		inject := func() {
+			tick(1)
+			if ok, _ := victim.Insert(poison[0]); ok {
+				allPoison = append(allPoison, poison[0])
+				rep.Injected++
+			}
+			poison = poison[1:]
+		}
+		for op := 0; op < opts.OpsPerEpoch; op++ {
+			for len(poison) > 0 && rep.Injected*opts.OpsPerEpoch <= op*opts.EpochBudget {
+				inject()
+			}
+			tick(1)
+			o := gen.Next()
+			if o.Read {
+				rep.Reads++
+				vr := victim.Lookup(o.Key)
+				cr := clean.Lookup(o.Key)
+				rep.PoisonedProbeTotal += int64(vr.Probes)
+				rep.CleanProbeTotal += int64(cr.Probes)
+				if victim.IsStale() {
+					rep.StaleReads++
+				}
+				if clean.IsStale() {
+					rep.CleanStaleReads++
+				}
+				continue
+			}
+			rep.Writes++
+			clean.Insert(o.Key)
+			victim.Insert(o.Key)
+		}
+		for len(poison) > 0 { // leftover drip (OpsPerEpoch == 0 or rounding)
+			inject()
+		}
+
+		// 3. Maintenance.
+		if opts.Policy.Kind == dynamic.Manual {
+			victim.Retrain()
+			clean.Retrain()
+		}
+
+		// 4. Measurement.
+		rep.PoisonTotal = len(allPoison)
+		vStats, cStats := victim.Stats(), clean.Stats()
+		rep.Retrains = vStats.Retrains
+		rep.CleanRetrains = cStats.Retrains
+		rep.CleanLoss = cStats.ContentLoss
+		rep.PoisonedLoss = vStats.ContentLoss
+		rep.RatioLoss = SafeRatio(rep.PoisonedLoss, rep.CleanLoss)
+		if rep.Reads > 0 {
+			rep.StaleFrac = float64(rep.StaleReads) / float64(rep.Reads)
+			rep.CleanStaleFrac = float64(rep.CleanStaleReads) / float64(rep.Reads)
+			rep.CleanProbes = float64(rep.CleanProbeTotal) / float64(rep.Reads)
+			rep.PoisonedProbes = float64(rep.PoisonedProbeTotal) / float64(rep.Reads)
+			rep.ProbeRatio = SafeRatio(rep.PoisonedProbes, rep.CleanProbes)
+		}
+		churn := victim.ChurnStats()
+		rep.Publishes = churn.Publishes
+		rep.Coalesced = churn.Coalesced
+		rep.StaleTicks = churn.StaleTicks
+		rep.RebuildTicks = churn.RebuildTicks
+		rep.MeanPublishLatency = churn.MeanLatency()
+		rep.MaxPublishLatency = churn.MaxLatencyTicks
+		res.Epochs = append(res.Epochs, rep)
+	}
+	res.Retrains = res.Epochs[len(res.Epochs)-1].Retrains
+	res.VictimChurn = victim.ChurnStats()
+	res.CleanChurn = clean.ChurnStats()
+	ps, err := keys.NewStrict(allPoison)
+	if err != nil {
+		return ChurnResult{}, fmt.Errorf("core: churn poison keys collide: %w", err)
+	}
+	res.Poison = ps
+	return res, nil
+}

@@ -37,6 +37,16 @@ type ServeOptions struct {
 	// Seed drives the workload stream (both indexes see the identical
 	// stream, so the attacker is the only difference between them).
 	Seed uint64
+	// RebuildCost prices each retrain in logical ticks for the background-
+	// retrain pipeline both indexes run behind (one tick per operation —
+	// honest or poison). The zero value is the ZERO-COST model: every
+	// rebuild publishes instantly and the scenario is byte-identical to the
+	// historical synchronous path (the golden equivalence the serve CSV
+	// fingerprints pin). With a non-zero model, epoch-end read probes are
+	// evaluated against the PUBLISHED (possibly stale) read plane while the
+	// loss columns keep reporting live content — staleness shows up as the
+	// gap between them.
+	RebuildCost index.CostModel
 }
 
 func (o ServeOptions) domain(initial keys.Set) int64 {
@@ -58,6 +68,9 @@ func (o ServeOptions) validate() error {
 	}
 	if o.Shards < 1 {
 		return fmt.Errorf("core: serve scenario needs Shards >= 1, got %d", o.Shards)
+	}
+	if err := o.RebuildCost.Validate(); err != nil {
+		return err
 	}
 	return o.Workload.Validate()
 }
@@ -103,6 +116,10 @@ type ServeEpochReport struct {
 	// clean index's imbalance is the honest baseline.
 	Imbalance      float64
 	CleanImbalance float64
+	// Stale reports whether the victim's read plane was serving a frozen
+	// pre-rebuild snapshot when this epoch's probes were measured — always
+	// false with the zero rebuild-cost model.
+	Stale bool
 	// Shards is the per-shard breakdown (victim vs clean), in shard order.
 	Shards []ServeShardReport
 }
@@ -125,6 +142,11 @@ type ServeResult struct {
 	Epochs   []ServeEpochReport
 	Poison   keys.Set // union of all accepted poison keys
 	Retrains int      // victim total across shards at scenario end
+	// VictimChurn / CleanChurn are the retrain pipelines' cumulative
+	// accounting (all zeros under the zero rebuild-cost model except the
+	// trigger/publish counters).
+	VictimChurn index.ChurnStats
+	CleanChurn  index.ChurnStats
 }
 
 // FinalRatio returns the last epoch's aggregate loss ratio.
@@ -162,39 +184,50 @@ func (r ServeResult) MaxShardRatio() float64 {
 // ServeAttack mounts the attack-under-load scenario: an adversary with a
 // per-epoch key budget poisons a range-partitioned sharded serving index
 // (internal/shard) while an honest population keeps reading and writing it.
+// Both indexes run behind the background-retrain pipeline (index.Pipeline):
+// writes and maintenance drive the WRITE and ADMIN planes, probes are
+// measured against the READ plane's published snapshot, and the logical
+// clock advances one tick per operation. With the default zero RebuildCost
+// every rebuild publishes instantly and the scenario is byte-identical to
+// the historical synchronous implementation.
 //
 // Each epoch:
 //
 //  1. OpsPerEpoch honest operations are drawn from the workload stream.
 //     Writes are inserted into both the victim and a clean counterfactual
 //     index (same router, same policy, same stream); reads are collected
-//     as the epoch's query workload.
+//     as the epoch's query workload. Every operation advances both
+//     pipelines' clocks by one tick.
 //  2. The attacker observes the victim's full visible content and injects
 //     up to EpochBudget poison keys computed by Algorithm 1
 //     (GreedyMultiPoint) against it. Inserts route through the victim's
-//     shards and can trigger per-shard policy retrains mid-epoch.
+//     shards and can trigger per-shard policy retrains mid-epoch (each
+//     poison insert is one tick on both clocks).
 //  3. With dynamic.Manual both indexes are force-retrained shard by shard
 //     (the epoch is the maintenance cycle); other policies retrain
-//     organically per shard.
+//     organically per shard. Non-zero rebuild costs defer each retrain's
+//     PUBLICATION — reads keep hitting the pre-rebuild snapshot until the
+//     cost elapses.
 //  4. The epoch report captures per-shard and aggregate model-vs-content
-//     loss ratios, exact probe totals of the epoch's reads on both
-//     indexes, shard imbalance, buffer depth, and retrain counts.
+//     loss ratios, exact probe totals of the epoch's reads against both
+//     read planes, shard imbalance, buffer depth, and retrain counts.
 //
 // Determinism contract: the workload stream is a pure function of
 // (Workload, initial, Domain, Seed); WithWorkers parallelism reaches only
-// the oracle's candidate scans and the read-probe evaluation, both of
-// which fold in index order — the result is byte-identical for every
-// worker count (TestServeWorkerEquivalence). WithCancellation aborts
-// between epochs and inside the oracle with ctx.Err().
+// the oracle's candidate scans, the shard rebuild fan-out, and the
+// read-probe evaluation, all of which fold in index order — the result is
+// byte-identical for every worker count (TestServeWorkerEquivalence).
+// WithCancellation aborts between epochs and inside the oracle with
+// ctx.Err().
 func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (ServeResult, error) {
 	if err := opts.validate(); err != nil {
 		return ServeResult{}, err
 	}
-	victim, err := shard.New(initial, opts.Shards, opts.Policy)
+	vShard, err := shard.New(initial, opts.Shards, opts.Policy)
 	if err != nil {
 		return ServeResult{}, err
 	}
-	clean, err := shard.New(initial, opts.Shards, opts.Policy)
+	cShard, err := shard.New(initial, opts.Shards, opts.Policy)
 	if err != nil {
 		return ServeResult{}, err
 	}
@@ -203,6 +236,12 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 		return ServeResult{}, err
 	}
 	ex := newExec(execOpts)
+	victim := index.NewPipeline(vShard, opts.RebuildCost).WithPool(ex.ctx, ex.pool)
+	clean := index.NewPipeline(cShard, opts.RebuildCost).WithPool(ex.ctx, ex.pool)
+	tick := func(n int) {
+		victim.Tick(n)
+		clean.Tick(n)
+	}
 
 	res := ServeResult{Shards: opts.Shards, Epochs: make([]ServeEpochReport, 0, opts.Epochs)}
 	var allPoison []int64
@@ -212,9 +251,11 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 			return ServeResult{}, err
 		}
 		rep := ServeEpochReport{Epoch: e + 1}
-		// 1. Honest traffic: one shared stream for both indexes.
+		// 1. Honest traffic: one shared stream for both indexes, one tick
+		// per operation.
 		var reads []int64
 		for _, op := range gen.Ops(opts.OpsPerEpoch) {
+			tick(1)
 			if op.Read {
 				rep.Reads++
 				reads = append(reads, op.Key)
@@ -227,13 +268,16 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 				displaced++
 			}
 		}
-		// 2. The attack: Algorithm 1 against the victim's visible content.
+		// 2. The attack: Algorithm 1 against the victim's visible content
+		// (the write-plane truth — an insertion adversary sees what it can
+		// write around, not the lagging read plane).
 		if opts.EpochBudget > 0 {
 			g, err := GreedyMultiPoint(victim.Keys(), opts.EpochBudget, execOpts...)
 			if err != nil {
 				return ServeResult{}, fmt.Errorf("core: serve epoch %d oracle: %w", e+1, err)
 			}
 			for _, k := range g.Poison {
+				tick(1)
 				if ok, _ := victim.Insert(k); ok {
 					allPoison = append(allPoison, k)
 					rep.Injected++
@@ -248,11 +292,14 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 		// 4. Measurement.
 		rep.PoisonTotal = len(allPoison)
 		rep.Displaced = displaced
-		if err := measureServe(&rep, victim, clean, reads, ex); err != nil {
+		rep.Stale = victim.IsStale()
+		if err := measureServe(&rep, vShard, cShard, victim, clean, reads, ex); err != nil {
 			return ServeResult{}, err
 		}
 		res.Epochs = append(res.Epochs, rep)
 	}
+	res.VictimChurn = victim.ChurnStats()
+	res.CleanChurn = clean.ChurnStats()
 	// Epochs >= 1 is validated, so the last report is always present; its
 	// cumulative retrain count is the scenario total (no extra Stats scan).
 	res.Retrains = res.Epochs[len(res.Epochs)-1].Retrains
@@ -268,10 +315,14 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 const serveProbeGrainFloor = 256
 
 // measureServe fills the epoch report's loss, probe, and shard columns.
-// The probe scan fans this epoch's read keys across the worker pool in
-// chunks; lookups are pure reads and the sums are integers folded in chunk
-// order, so any worker count produces identical bytes.
-func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, reads []int64, ex exec) error {
+// Loss, imbalance, and buffer columns read the LIVE shard state (the
+// admin-plane truth the operator's dashboards aggregate); probe columns
+// are measured against each pipeline's PUBLISHED read plane, captured once
+// as an immutable snapshot and then fanned across the worker pool in
+// chunks — snapshot lookups are pure reads on frozen state and the sums
+// are integers folded in chunk order, so any worker count produces
+// identical bytes, with no mutable state shared across workers at all.
+func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, vPipe, cPipe *index.Pipeline, reads []int64, ex exec) error {
 	// Per-shard stats are the expensive part (ContentLoss is an O(shard)
 	// scan); collect them once per side and fold the aggregates here with
 	// the same key-weighted arithmetic shard.Index.Stats uses, instead of
@@ -315,12 +366,13 @@ func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, reads []int
 	}
 
 	n := len(reads)
+	vSnap, cSnap := vPipe.Snapshot(), cPipe.Snapshot()
 	grain := engine.GrainForMin(n, ex.pool, serveProbeGrainFloor)
 	chunks, err := engine.MapChunks(ex.ctx, ex.pool, n, grain,
 		func(lo, hi int) (probeAgg, error) {
 			var a probeAgg
-			a.clean, _ = clean.ProbeSum(reads[lo:hi])
-			a.victim, _ = victim.ProbeSum(reads[lo:hi])
+			a.clean, _ = cSnap.ProbeSum(reads[lo:hi])
+			a.victim, _ = vSnap.ProbeSum(reads[lo:hi])
 			return a, nil
 		})
 	if err != nil {

@@ -147,6 +147,76 @@ func TestServeTrajectory(t *testing.T) {
 // acceptance contract: the ENTIRE result — every epoch report, every
 // per-shard row, every probe total — is byte-identical for workers=1 and
 // workers=NumCPU.
+// TestServeZeroCostGolden: the zero-cost pipeline is byte-identical to the
+// historical synchronous path. The zero VALUE and an explicitly spelled
+// zero model must both produce exactly the default scenario output —
+// reports, poison set, probe totals, everything. (The CSV-level half of
+// this golden lives in EXPERIMENTS.md: the serve.csv fingerprint is
+// unchanged across the plane refactor.)
+func TestServeZeroCostGolden(t *testing.T) {
+	initial := serveFixture(t, 400)
+	base, err := ServeAttack(initial, serveOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cost := range map[string]index.CostModel{
+		"zero-value":     {},
+		"explicit-fixed": {Fixed: 0},
+	} {
+		opts := serveOpts(4)
+		opts.RebuildCost = cost
+		got, err := ServeAttack(initial, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("%s: output differs from the synchronous golden", name)
+		}
+	}
+	for _, e := range base.Epochs {
+		if e.Stale {
+			t.Fatalf("epoch %d measured stale under zero cost", e.Epoch)
+		}
+	}
+	if base.VictimChurn.StaleTicks != 0 || base.VictimChurn.Triggers != base.VictimChurn.Publishes {
+		t.Fatalf("zero-cost churn accounting: %+v", base.VictimChurn)
+	}
+}
+
+// TestServeRebuildCostStaleness: a non-zero rebuild cost opens stale
+// windows — epoch-end retrains are still in flight when probes are
+// measured, the pipelines accrue stale ticks, and the probe columns now
+// read the frozen pre-rebuild plane (so they can only differ from the
+// zero-cost run).
+func TestServeRebuildCostStaleness(t *testing.T) {
+	initial := serveFixture(t, 400)
+	opts := serveOpts(4)
+	opts.RebuildCost = index.CostModel{Fixed: 1_000} // far longer than an epoch
+	res, err := ServeAttack(initial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs {
+		if !e.Stale {
+			t.Fatalf("epoch %d: expected a stale read plane under fixed cost 1000", e.Epoch)
+		}
+	}
+	if res.VictimChurn.StaleTicks == 0 || res.CleanChurn.StaleTicks == 0 {
+		t.Fatalf("no stale ticks accrued: victim %+v clean %+v", res.VictimChurn, res.CleanChurn)
+	}
+	if res.VictimChurn.Coalesced == 0 {
+		t.Fatalf("epoch-end retrains behind a slow rebuild never coalesced: %+v", res.VictimChurn)
+	}
+	// The scenario stays deterministic across worker counts with costs on.
+	res2, err := ServeAttack(initial, opts, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("rebuild-cost scenario diverges across worker counts")
+	}
+}
+
 func TestServeWorkerEquivalence(t *testing.T) {
 	initial := serveFixture(t, 500)
 	for _, tc := range []struct {

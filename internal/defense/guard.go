@@ -8,6 +8,9 @@ package defense
 // index.Backend.
 
 import (
+	"context"
+
+	"cdfpoison/internal/engine"
 	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 )
@@ -147,9 +150,53 @@ func (g *Guard) Retrain() {
 	g.backend.Retrain()
 	g.contentValid = false
 }
+
+// RetrainParallel forwards the pooled rebuild when the wrapped backend
+// supports it and falls back to the sequential Retrain otherwise, so a
+// guard never hides the inner backend's parallel rebuild path from the
+// retrain pipeline (index.ParallelRetrainer).
+func (g *Guard) RetrainParallel(ctx context.Context, pool *engine.Pool) error {
+	defer func() { g.contentValid = false }()
+	if pr, ok := g.backend.(index.ParallelRetrainer); ok {
+		return pr.RetrainParallel(ctx, pool)
+	}
+	g.backend.Retrain()
+	return nil
+}
+
+// LastRebuildSize forwards the wrapped backend's rebuild size when it
+// reports one, else the full length (index.RebuildSizer).
+func (g *Guard) LastRebuildSize() int {
+	if rs, ok := g.backend.(index.RebuildSizer); ok {
+		return rs.LastRebuildSize()
+	}
+	return g.backend.Len()
+}
+
+// RetrainPossible forwards the wrapped backend's prediction
+// (index.TriggerPredictor): the guard can only REJECT inserts, so the
+// inner backend's answer is already conservative for the guarded path.
+func (g *Guard) RetrainPossible() bool {
+	if tp, ok := g.backend.(index.TriggerPredictor); ok {
+		return tp.RetrainPossible()
+	}
+	return true
+}
 func (g *Guard) Len() int           { return g.backend.Len() }
 func (g *Guard) Keys() keys.Set     { return g.backend.Keys() }
 func (g *Guard) Stats() index.Stats { return g.backend.Stats() }
+
+// Snapshot hands out the wrapped backend's snapshot unchanged: the guard
+// screens writes, so its read plane IS the backend's read plane.
+func (g *Guard) Snapshot() index.Snapshot { return g.backend.Snapshot() }
+
+// ProbeSum forwards the whole batch to the wrapped backend's batch path in
+// ONE call rather than looping single Lookups through the interface. The
+// totals are identical either way (integer probe sums are
+// partition-invariant), but the forwarded form keeps the inner backend's
+// batch-level optimizations — and skips one interface dispatch per key —
+// on the hot evaluation path; BenchmarkGuardProbeSum pins the delta
+// against the per-key reference loop.
 func (g *Guard) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
 	return g.backend.ProbeSum(queryKeys)
 }

@@ -1,0 +1,77 @@
+package defense
+
+// BenchmarkGuardProbeSum pins the batch-forwarding contract of
+// Guard.ProbeSum: the guard hands the WHOLE query batch to the wrapped
+// backend's batch path in one call, instead of looping single Lookups
+// through two interface layers (the reference index.ProbeSum shape). The
+// totals are identical either way — integer probe sums are
+// partition-invariant — so the only difference is dispatch overhead on the
+// serving scenarios' hottest evaluation path; this benchmark records the
+// delta so a regression back to the per-key loop is visible.
+
+import (
+	"testing"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/shard"
+	"cdfpoison/internal/xrand"
+)
+
+func guardOver(b *testing.B, backend index.Backend) (*Guard, []int64) {
+	b.Helper()
+	g := NewGuard(backend, GuardOptions{})
+	return g, backend.Keys().Keys()
+}
+
+func benchProbeSum(b *testing.B, build func(b *testing.B) index.Backend) {
+	b.Run("forwarded", func(b *testing.B) {
+		g, queries := guardOver(b, build(b))
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, _ := g.ProbeSum(queries)
+			sink += p
+		}
+		_ = sink
+	})
+	b.Run("per-key-loop", func(b *testing.B) {
+		g, queries := guardOver(b, build(b))
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The shape Guard.ProbeSum would degenerate to without the
+			// batch forward: one interface dispatch per key, through the
+			// guard AND the backend.
+			p, _ := index.ProbeSum(g, queries)
+			sink += p
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkGuardProbeSum(b *testing.B) {
+	ks, err := dataset.Uniform(xrand.New(3), 20_000, 800_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dynamic", func(b *testing.B) {
+		benchProbeSum(b, func(b *testing.B) index.Backend {
+			d, err := dynamic.New(ks, dynamic.ManualPolicy())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		})
+	})
+	b.Run("shard-8", func(b *testing.B) {
+		benchProbeSum(b, func(b *testing.B) index.Backend {
+			s, err := shard.New(ks, 8, dynamic.ManualPolicy())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		})
+	})
+}

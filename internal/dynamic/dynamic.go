@@ -26,6 +26,14 @@
 //     happens is the RetrainPolicy: after every K-th insert call, when the
 //     buffer reaches a size threshold, or only on explicit Retrain() calls.
 //
+// The full read state (base, model, envelope, buffer) lives in one value —
+// the VIEW — and Snapshot() freezes it in O(1): the base and model are
+// immutable by construction and the buffer is copy-on-write (the next
+// mutation clones it instead of editing in place), so a handed-out snapshot
+// keeps answering from the state at capture time no matter what the live
+// index does afterwards. This is the read plane of index.Backend (DESIGN.md
+// §7) and what the background-retrain pipeline publishes.
+//
 // Everything is deterministic: no RNG, no map iteration, no wall clock.
 // Identical insert sequences produce identical indexes, which the online
 // attack's worker-equivalence tests rely on.
@@ -123,12 +131,13 @@ func (p RetrainPolicy) String() string {
 	return fmt.Sprintf("%s-%d", p.Kind, p.K)
 }
 
-// Index is an updatable learned index: base set + model + delta buffer.
-// It is NOT safe for concurrent mutation; the online attack drives it from
-// a single goroutine and parallelizes only pure reads.
-type Index struct {
-	policy RetrainPolicy
-
+// view is the complete read state of the index at one instant: the base
+// set the model was trained on, the fitted model with its guaranteed error
+// envelope, and the delta buffer. A *view is also the index's
+// index.Snapshot: the base and model never mutate after a fit, and the
+// buffer slice is copy-on-write (see Index.bufShared), so a view handed
+// out by Snapshot() is frozen for good.
+type view struct {
 	base  keys.Set         // keys the current model was trained on
 	model regression.Model // fitted on base at the last retrain
 	// eLo/eHi bound (actual rank − predicted rank) over base, recorded at
@@ -136,9 +145,27 @@ type Index struct {
 	eLo, eHi float64
 
 	buffer []int64 // sorted, duplicate-free keys accepted since last retrain
+}
+
+var _ index.Snapshot = (*view)(nil)
+
+// Index is an updatable learned index: base set + model + delta buffer.
+// It is NOT safe for concurrent mutation; the online attack drives it from
+// a single goroutine and parallelizes only pure reads.
+type Index struct {
+	policy RetrainPolicy
+
+	v view
+	// bufShared marks the buffer slice as aliased by a handed-out snapshot:
+	// the next buffer mutation must clone instead of editing in place, so
+	// the snapshot keeps its capture-time contents.
+	bufShared bool
 
 	inserts  int // Insert calls since the last retrain (EveryK counter)
 	retrains int // completed retrains (the initial fit is not counted)
+	// lastFit is the size of the base the most recent (re)fit covered — what
+	// a rebuild cost model prices (index.RebuildSizer).
+	lastFit int
 }
 
 // New builds an index over the initial key set (>= 2 keys) and trains the
@@ -157,25 +184,49 @@ func New(initial keys.Set, policy RetrainPolicy) (*Index, error) {
 	return x, nil
 }
 
-// fit retrains the model and error envelope on the given base set.
+// fit retrains the model and error envelope on the given base set. Handed-
+// out snapshots are unaffected: they copied the view value, and fit only
+// reassigns the live index's fields.
 func (x *Index) fit(base keys.Set) error {
 	m, err := regression.FitCDF(base)
 	if err != nil {
 		return err
 	}
-	x.base = base
-	x.model = m
-	x.eLo, x.eHi = math.Inf(1), math.Inf(-1)
+	x.v.base = base
+	x.v.model = m
+	x.v.eLo, x.v.eHi = math.Inf(1), math.Inf(-1)
 	for i := 0; i < base.Len(); i++ {
 		d := float64(i+1) - m.Predict(base.At(i))
-		if d < x.eLo {
-			x.eLo = d
+		if d < x.v.eLo {
+			x.v.eLo = d
 		}
-		if d > x.eHi {
-			x.eHi = d
+		if d > x.v.eHi {
+			x.v.eHi = d
 		}
 	}
+	x.lastFit = base.Len()
 	return nil
+}
+
+// LastRebuildSize reports how many keys the most recent retrain refit —
+// the size the background-retrain pipeline's cost model prices
+// (index.RebuildSizer).
+func (x *Index) LastRebuildSize() int { return x.lastFit }
+
+// RetrainPossible reports whether the next Insert call could trigger a
+// policy retrain (index.TriggerPredictor, conservative): never under
+// Manual, at the K-th write under EveryK, and when one more accepted key
+// would fill the buffer under BufferThreshold (a duplicate would not — the
+// answer is a possibility, not a certainty).
+func (x *Index) RetrainPossible() bool {
+	switch x.policy.Kind {
+	case EveryK:
+		return x.inserts+1 >= x.policy.K
+	case BufferThreshold:
+		return len(x.v.buffer)+1 >= x.policy.K
+	default: // Manual
+		return false
+	}
 }
 
 // Insert offers a key to the index. accepted is false when k is negative or
@@ -186,10 +237,8 @@ func (x *Index) fit(base keys.Set) error {
 func (x *Index) Insert(k int64) (accepted, retrained bool) {
 	x.inserts++
 	if k >= 0 && !x.contains(k) {
-		i := sort.Search(len(x.buffer), func(i int) bool { return x.buffer[i] >= k })
-		x.buffer = append(x.buffer, 0)
-		copy(x.buffer[i+1:], x.buffer[i:])
-		x.buffer[i] = k
+		i := sort.Search(len(x.v.buffer), func(i int) bool { return x.v.buffer[i] >= k })
+		x.insertBuffer(i, k)
 		accepted = true
 	}
 	switch x.policy.Kind {
@@ -198,7 +247,7 @@ func (x *Index) Insert(k int64) (accepted, retrained bool) {
 			retrained = true
 		}
 	case BufferThreshold:
-		if len(x.buffer) >= x.policy.K {
+		if len(x.v.buffer) >= x.policy.K {
 			retrained = true
 		}
 	}
@@ -208,13 +257,22 @@ func (x *Index) Insert(k int64) (accepted, retrained bool) {
 	return accepted, retrained
 }
 
+// insertBuffer places k at buffer position i. When the buffer is aliased by
+// a snapshot the whole slice is cloned (same O(len) cost as the in-place
+// shift, plus one allocation); otherwise it shifts in place exactly as the
+// pre-snapshot implementation did.
+func (x *Index) insertBuffer(i int, k int64) {
+	x.v.buffer = keys.InsertAt(x.v.buffer, i, k, x.bufShared)
+	x.bufShared = false
+}
+
 // contains reports whether k is in the base or the buffer.
 func (x *Index) contains(k int64) bool {
-	if x.base.Contains(k) {
+	if x.v.base.Contains(k) {
 		return true
 	}
-	i := sort.Search(len(x.buffer), func(i int) bool { return x.buffer[i] >= k })
-	return i < len(x.buffer) && x.buffer[i] == k
+	i := sort.Search(len(x.v.buffer), func(i int) bool { return x.v.buffer[i] >= k })
+	return i < len(x.v.buffer) && x.v.buffer[i] == k
 }
 
 // Retrain merges the buffer into the base and refits the model. Retraining
@@ -223,38 +281,49 @@ func (x *Index) contains(k int64) bool {
 // counter still advances, which is what a wall-clock maintenance schedule
 // does on an idle index.
 func (x *Index) Retrain() {
-	if len(x.buffer) > 0 {
-		merged := x.base.Keys()
-		out := make([]int64, 0, len(merged)+len(x.buffer))
+	if len(x.v.buffer) > 0 {
+		merged := x.v.base.Keys()
+		out := make([]int64, 0, len(merged)+len(x.v.buffer))
 		i, j := 0, 0
-		for i < len(merged) && j < len(x.buffer) {
-			if merged[i] < x.buffer[j] {
+		for i < len(merged) && j < len(x.v.buffer) {
+			if merged[i] < x.v.buffer[j] {
 				out = append(out, merged[i])
 				i++
 			} else {
-				out = append(out, x.buffer[j])
+				out = append(out, x.v.buffer[j])
 				j++
 			}
 		}
 		out = append(out, merged[i:]...)
-		out = append(out, x.buffer[j:]...)
+		out = append(out, x.v.buffer[j:]...)
 		// fit cannot fail here: the merged set has >= 2 keys by construction.
 		if err := x.fit(keys.FromSorted(out)); err != nil {
 			panic(fmt.Sprintf("dynamic: refit after merge: %v", err))
 		}
-		x.buffer = nil
-	} else if err := x.fit(x.base); err != nil {
+		x.v.buffer = nil
+		x.bufShared = false
+	} else if err := x.fit(x.v.base); err != nil {
 		panic(fmt.Sprintf("dynamic: refit on empty buffer: %v", err))
 	}
 	x.inserts = 0
 	x.retrains++
 }
 
+// Snapshot freezes the current read state in O(1): the returned view shares
+// the immutable base and model, and marks the buffer copy-on-write so the
+// next mutation clones rather than edits it. The snapshot's probe counts
+// are identical to the live index's at capture time.
+func (x *Index) Snapshot() index.Snapshot {
+	x.bufShared = true
+	s := x.v
+	return &s
+}
+
 // Len returns the total number of stored keys (base + buffer).
-func (x *Index) Len() int { return x.base.Len() + len(x.buffer) }
+func (x *Index) Len() int { return x.v.Len() }
 
 // BufferLen returns the number of keys waiting in the delta buffer.
-func (x *Index) BufferLen() int { return len(x.buffer) }
+func (x *Index) BufferLen() int { return len(x.v.buffer) }
 
 // Retrains returns the number of completed retrains.
 func (x *Index) Retrains() int { return x.retrains }
@@ -263,20 +332,14 @@ func (x *Index) Retrains() int { return x.retrains }
 func (x *Index) Policy() RetrainPolicy { return x.policy }
 
 // Base returns the key set the current model was trained on.
-func (x *Index) Base() keys.Set { return x.base }
+func (x *Index) Base() keys.Set { return x.v.base }
 
 // Model returns the current fitted model (trained at the last retrain).
-func (x *Index) Model() regression.Model { return x.model }
+func (x *Index) Model() regression.Model { return x.v.model }
 
 // Keys materializes the full current content (base ∪ buffer) as a fresh
 // key set. O(n); used by evaluation code, not by lookups.
-func (x *Index) Keys() keys.Set {
-	if len(x.buffer) == 0 {
-		return x.base
-	}
-	bufSet := keys.FromSorted(x.buffer)
-	return x.base.Union(bufSet)
-}
+func (x *Index) Keys() keys.Set { return x.v.Keys() }
 
 // LookupResult reports a point query against the dynamic index: Probes
 // counts key comparisons across the base window plus the buffer search,
@@ -288,23 +351,36 @@ type LookupResult = index.LookupResult
 // the model's guaranteed error envelope (always found); buffer keys fall
 // back to binary search over the buffer. The probe count is the
 // implementation-independent cost metric the online attack degrades.
-func (x *Index) Lookup(k int64) LookupResult {
+func (x *Index) Lookup(k int64) LookupResult { return x.v.Lookup(k) }
+
+// ProbeSum runs a lookup for every query key and returns the exact total
+// probe count plus how many were not found. Integer sums are
+// order-independent, so callers may partition queryKeys across workers and
+// add the partial sums in any grouping without changing the result — the
+// property core.OnlinePoisonAttack's parallel evaluation leans on.
+func (x *Index) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	return x.v.ProbeSum(queryKeys)
+}
+
+// Lookup is the shared probe-counted point query both the live index and
+// its snapshots serve through.
+func (v *view) Lookup(k int64) LookupResult {
 	var res LookupResult
-	pred := x.model.Predict(k)
-	lo := int(math.Floor(pred+x.eLo)) - 1 // 1-based rank → 0-based index
-	hi := int(math.Ceil(pred+x.eHi)) - 1
+	pred := v.model.Predict(k)
+	lo := int(math.Floor(pred+v.eLo)) - 1 // 1-based rank → 0-based index
+	hi := int(math.Ceil(pred+v.eHi)) - 1
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > x.base.Len()-1 {
-		hi = x.base.Len() - 1
+	if hi > v.base.Len()-1 {
+		hi = v.base.Len() - 1
 	}
 	if lo <= hi {
 		res.Window = hi - lo + 1
 		for lo <= hi {
 			mid := (lo + hi) / 2
 			res.Probes++
-			switch c := x.base.At(mid); {
+			switch c := v.base.At(mid); {
 			case c == k:
 				res.Found = true
 				return res
@@ -316,11 +392,11 @@ func (x *Index) Lookup(k int64) LookupResult {
 		}
 	}
 	// Not in base: the buffer is unmodeled, plain binary search.
-	blo, bhi := 0, len(x.buffer)-1
+	blo, bhi := 0, len(v.buffer)-1
 	for blo <= bhi {
 		mid := (blo + bhi) / 2
 		res.Probes++
-		switch c := x.buffer[mid]; {
+		switch c := v.buffer[mid]; {
 		case c == k:
 			res.Found = true
 			res.InBuffer = true
@@ -334,20 +410,29 @@ func (x *Index) Lookup(k int64) LookupResult {
 	return res
 }
 
-// ProbeSum runs a lookup for every query key and returns the exact total
-// probe count plus how many were not found. Integer sums are
-// order-independent, so callers may partition queryKeys across workers and
-// add the partial sums in any grouping without changing the result — the
-// property core.OnlinePoisonAttack's parallel evaluation leans on.
-func (x *Index) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+// ProbeSum is the snapshot's batch evaluation; integer sums are
+// partition-invariant, exactly as on the live index.
+func (v *view) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
 	for _, k := range queryKeys {
-		r := x.Lookup(k)
+		r := v.Lookup(k)
 		probes += int64(r.Probes)
 		if !r.Found {
 			notFound++
 		}
 	}
 	return probes, notFound
+}
+
+// Len returns the total number of keys visible in this view.
+func (v *view) Len() int { return v.base.Len() + len(v.buffer) }
+
+// Keys materializes the view's full content (base ∪ buffer).
+func (v *view) Keys() keys.Set {
+	if len(v.buffer) == 0 {
+		return v.base
+	}
+	bufSet := keys.FromSorted(v.buffer)
+	return v.base.Union(bufSet)
 }
 
 // Stats is the uniform backend summary (index.Stats).
@@ -357,17 +442,17 @@ type Stats = index.Stats
 // against the full current content (base ∪ buffer), so staleness between
 // retrains is visible; ModelLoss is the in-sample MSE on the base alone.
 func (x *Index) Stats() Stats {
-	w := int(math.Ceil(x.eHi)-math.Floor(x.eLo)) + 1
+	w := int(math.Ceil(x.v.eHi)-math.Floor(x.v.eLo)) + 1
 	if w < 1 {
 		w = 1
 	}
 	// EvaluateCDF cannot fail here: the index always holds >= 2 keys.
-	content, _ := regression.EvaluateCDF(x.model.Line, x.Keys())
+	content, _ := regression.EvaluateCDF(x.v.model.Line, x.Keys())
 	return Stats{
 		Keys:        x.Len(),
-		Buffered:    len(x.buffer),
+		Buffered:    len(x.v.buffer),
 		Retrains:    x.retrains,
-		ModelLoss:   x.model.Loss,
+		ModelLoss:   x.v.model.Loss,
 		ContentLoss: content,
 		Window:      w,
 	}

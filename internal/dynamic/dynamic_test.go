@@ -185,8 +185,8 @@ func TestMergedEqualsFreshBuild(t *testing.T) {
 	if !reflect.DeepEqual(x.Model(), fresh.Model()) {
 		t.Fatalf("merged model %v != fresh model %v", x.Model(), fresh.Model())
 	}
-	if x.eLo != fresh.eLo || x.eHi != fresh.eHi {
-		t.Fatalf("envelope (%v,%v) != fresh (%v,%v)", x.eLo, x.eHi, fresh.eLo, fresh.eHi)
+	if x.v.eLo != fresh.v.eLo || x.v.eHi != fresh.v.eHi {
+		t.Fatalf("envelope (%v,%v) != fresh (%v,%v)", x.v.eLo, x.v.eHi, fresh.v.eLo, fresh.v.eHi)
 	}
 	for i := 0; i < x.Keys().Len(); i += 7 {
 		k := x.Keys().At(i)

@@ -88,6 +88,10 @@ func TestMapLowestIndexErrorWins(t *testing.T) {
 func TestMapContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	started := make(chan struct{}, 1)
+	// gate blocks in-flight tasks until cancel() has been issued: without
+	// it, a fast single-core host can drain all 1M trivial tasks before the
+	// canceling goroutine is ever scheduled, and the test flakes.
+	gate := make(chan struct{})
 	var ran int64
 	done := make(chan error, 1)
 	go func() {
@@ -97,12 +101,14 @@ func TestMapContextCancellation(t *testing.T) {
 			case started <- struct{}{}:
 			default:
 			}
+			<-gate
 			return i, nil
 		})
 		done <- err
 	}()
 	<-started
 	cancel()
+	close(gate)
 	err := <-done
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)

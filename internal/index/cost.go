@@ -1,0 +1,153 @@
+package index
+
+// The rebuild cost model of the background-retrain pipeline: a pure
+// function from "how many keys does this rebuild cover" to "how many
+// logical ticks does it take" — no wall clocks anywhere, so every scenario
+// that prices rebuilds stays bit-reproducible (DESIGN.md §2, §7).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// costLimit bounds every parsed cost parameter. It is generous (≈10¹²
+// ticks) while keeping Ticks' int64 arithmetic safely away from overflow
+// for any realistic key count.
+const costLimit = int64(1) << 40
+
+// DefaultCostUnit is the keys-per-tick denominator a linear cost spec gets
+// when its unit field is omitted: one tick per thousand keys rebuilt.
+const DefaultCostUnit = 1000
+
+// CostModel prices one rebuild in logical ticks: Fixed flat ticks plus
+// PerKey ticks for every Unit keys the rebuild covers. The zero value is
+// the ZERO-COST model — rebuilds publish instantly, which makes a
+// pipeline-wrapped backend byte-identical to the historical synchronous
+// path (the golden equivalence the pipeline tests pin).
+type CostModel struct {
+	Fixed  int64 // flat ticks per rebuild
+	PerKey int64 // ticks per Unit keys rebuilt
+	Unit   int64 // keys per PerKey increment (DefaultCostUnit when 0 and PerKey > 0)
+}
+
+// Zero reports whether every rebuild costs zero ticks.
+func (c CostModel) Zero() bool { return c.Fixed == 0 && c.PerKey == 0 }
+
+// Ticks prices a rebuild covering n keys.
+func (c CostModel) Ticks(n int) int64 {
+	t := c.Fixed
+	if c.PerKey > 0 {
+		u := c.Unit
+		if u < 1 {
+			u = DefaultCostUnit
+		}
+		t += c.PerKey * (int64(n) / u)
+	}
+	return t
+}
+
+// Validate reports whether the model's parameters are in range.
+func (c CostModel) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{{"fixed", c.Fixed}, {"per-key", c.PerKey}, {"unit", c.Unit}} {
+		if f.v < 0 {
+			return fmt.Errorf("index: negative %s cost %d", f.name, f.v)
+		}
+		if f.v > costLimit {
+			return fmt.Errorf("index: %s cost %d exceeds limit %d", f.name, f.v, costLimit)
+		}
+	}
+	if c.PerKey == 0 && c.Unit != 0 {
+		return fmt.Errorf("index: cost unit %d without a per-key component", c.Unit)
+	}
+	return nil
+}
+
+// String renders the model in the syntax ParseCostModel accepts:
+// "zero", "fixed:F", or "linear:F:P:U".
+func (c CostModel) String() string {
+	if c.Zero() {
+		return "zero"
+	}
+	if c.PerKey == 0 {
+		return fmt.Sprintf("fixed:%d", c.Fixed)
+	}
+	u := c.Unit
+	if u < 1 {
+		u = DefaultCostUnit
+	}
+	return fmt.Sprintf("linear:%d:%d:%d", c.Fixed, c.PerKey, u)
+}
+
+// ParseCostModel parses the rebuild-cost spec syntax of the churn scenario
+// (`lispoison churn -cost …`), the pipeline sibling of the retrain-policy
+// (dynamic.ParsePolicy) and workload (workload.ParseSpec) syntaxes:
+//
+//	zero                     rebuilds publish instantly (the synchronous golden path)
+//	fixed:F                  every rebuild takes F ticks
+//	linear:F:P[:U]           F flat ticks + P ticks per U keys rebuilt (U defaults to 1000)
+//
+// ParseCostModel is total: any input yields a valid CostModel or an error,
+// never a panic (FuzzParseCostModel enforces this), and the result is
+// normalized so CostModel.String round-trips through it.
+func ParseCostModel(s string) (CostModel, error) {
+	fields := strings.Split(s, ":")
+	parse := func(raw, what string, dst *int64) error {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("cost %q: bad %s %q", s, what, raw)
+		}
+		*dst = v
+		return nil
+	}
+	var c CostModel
+	switch fields[0] {
+	case "zero":
+		if len(fields) > 1 {
+			return CostModel{}, fmt.Errorf("cost %q: zero takes no parameters", s)
+		}
+		return CostModel{}, nil
+	case "fixed":
+		if len(fields) != 2 {
+			return CostModel{}, fmt.Errorf("cost %q: want fixed:F", s)
+		}
+		if err := parse(fields[1], "fixed ticks", &c.Fixed); err != nil {
+			return CostModel{}, err
+		}
+	case "linear":
+		if len(fields) < 3 || len(fields) > 4 {
+			return CostModel{}, fmt.Errorf("cost %q: want linear:F:P[:U]", s)
+		}
+		if err := parse(fields[1], "fixed ticks", &c.Fixed); err != nil {
+			return CostModel{}, err
+		}
+		if err := parse(fields[2], "per-key ticks", &c.PerKey); err != nil {
+			return CostModel{}, err
+		}
+		if len(fields) == 4 {
+			if err := parse(fields[3], "unit", &c.Unit); err != nil {
+				return CostModel{}, err
+			}
+			if c.Unit < 1 {
+				return CostModel{}, fmt.Errorf("cost %q: unit must be >= 1", s)
+			}
+		}
+		if c.PerKey > 0 && c.Unit == 0 {
+			c.Unit = DefaultCostUnit
+		}
+		if c.PerKey == 0 {
+			// Normalize "linear with no slope" to the fixed form so String
+			// round-trips.
+			c.Unit = 0
+		}
+	default:
+		return CostModel{}, fmt.Errorf("unknown cost model %q (want zero | fixed:F | linear:F:P[:U])", s)
+	}
+	if err := c.Validate(); err != nil {
+		return CostModel{}, fmt.Errorf("cost %q: %w", s, err)
+	}
+	return c, nil
+}

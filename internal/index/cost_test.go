@@ -1,0 +1,114 @@
+package index
+
+import (
+	"testing"
+)
+
+func TestCostModelTicks(t *testing.T) {
+	for _, tc := range []struct {
+		c    CostModel
+		n    int
+		want int64
+	}{
+		{CostModel{}, 1_000_000, 0},
+		{CostModel{Fixed: 7}, 0, 7},
+		{CostModel{Fixed: 7}, 1_000_000, 7},
+		{CostModel{PerKey: 2, Unit: 100}, 250, 4},
+		{CostModel{Fixed: 5, PerKey: 2, Unit: 100}, 250, 9},
+		{CostModel{PerKey: 3}, 2_500, 6}, // Unit defaults to 1000
+		{CostModel{PerKey: 3}, 999, 0},
+	} {
+		if got := tc.c.Ticks(tc.n); got != tc.want {
+			t.Errorf("%v.Ticks(%d) = %d, want %d", tc.c, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestParseCostModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want CostModel
+	}{
+		{"zero", CostModel{}},
+		{"fixed:0", CostModel{}},
+		{"fixed:40", CostModel{Fixed: 40}},
+		{"linear:5:2", CostModel{Fixed: 5, PerKey: 2, Unit: 1000}},
+		{"linear:5:2:250", CostModel{Fixed: 5, PerKey: 2, Unit: 250}},
+		{"linear:5:0", CostModel{Fixed: 5}},
+		{"linear:0:0", CostModel{}},
+	} {
+		got, err := ParseCostModel(tc.in)
+		if err != nil {
+			t.Errorf("ParseCostModel(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseCostModel(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"", "nope", "fixed", "fixed:", "fixed:x", "fixed:-1", "fixed:1:2",
+		"linear", "linear:1", "linear:1:2:3:4", "linear:1:2:0", "linear:1:2:-5",
+		"zero:0", "fixed:99999999999999999999", "linear:1:1099511627777",
+	} {
+		if _, err := ParseCostModel(bad); err == nil {
+			t.Errorf("ParseCostModel(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCostModelRoundTrip: every parsed model re-parses from its String to
+// the identical value — the property the fuzz harness checks over
+// arbitrary inputs and the CLI's -cost flag relies on for help text.
+func TestCostModelRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"zero", "fixed:0", "fixed:1", "fixed:1099511627776",
+		"linear:0:1", "linear:3:2:7", "linear:9:0", "linear:0:0",
+	} {
+		c, err := ParseCostModel(in)
+		if err != nil {
+			t.Fatalf("ParseCostModel(%q): %v", in, err)
+		}
+		back, err := ParseCostModel(c.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q via %q: %v", in, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip of %q: %+v != %+v", in, back, c)
+		}
+	}
+}
+
+// FuzzParseCostModel: the churn scenario's cost-spec parser must be total —
+// any input yields a valid CostModel or an error, never a panic — and every
+// accepted spec must validate and round-trip through String. The checked-in
+// corpus under testdata/fuzz replays in CI.
+func FuzzParseCostModel(f *testing.F) {
+	for _, seed := range []string{
+		"zero", "fixed:40", "fixed:0", "linear:5:2", "linear:5:2:250",
+		"", ":", "zero:", "fixed:", "fixed:-1", "fixed:+40", "fixed:1e3",
+		"linear:1:2:3:4", "linear::2", "linear:9223372036854775807:1",
+		"linear:1:1:0", "fixed:0x10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCostModel(s)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("ParseCostModel(%q) accepted an invalid model %+v: %v", s, c, verr)
+		}
+		back, err := ParseCostModel(c.String())
+		if err != nil {
+			t.Fatalf("round trip of %q via %q failed: %v", s, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip of %q: %+v != %+v", s, back, c)
+		}
+		if c.Ticks(0) < 0 || c.Ticks(1<<20) < 0 {
+			t.Fatalf("ParseCostModel(%q): negative ticks from %+v", s, c)
+		}
+	})
+}

@@ -1,18 +1,39 @@
-// Package index defines the backend contract every index substrate in this
-// repository serves through: probe-counted lookups, policy-driven inserts,
-// explicit retrains, and a uniform stats surface. The attacks and sweeps
-// above it (core.OnlinePoisonAttack, core.ServeAttack, the backend
-// comparison sweep in internal/bench, the defense wrappers) are written
-// against Backend alone, so any substrate — the updatable learned index
-// (internal/dynamic), the B-Tree baseline (internal/btree), the single-model
-// RMI path (internal/rmi), the range-partitioned sharded index
-// (internal/shard), or a defense wrapper (internal/defense) — can be swapped
-// under any scenario without touching the scenario.
+// Package index defines the contracts every index substrate in this
+// repository serves through, split into three planes:
 //
-// The package is a leaf: it depends only on internal/keys, so backends in
-// any substrate package can import it without cycles, and internal/core can
-// stay independent of the substrates it attacks (see DESIGN.md §1,
-// dependency rules).
+//   - Reader — the READ plane: hands out an immutable, probe-counted
+//     Snapshot of the content. Lookups against a Snapshot never observe a
+//     half-built model, because a Snapshot is frozen at capture time —
+//     mutating or retraining the backend afterwards must not change any
+//     answer an already-held Snapshot gives (the snapshot-immutability
+//     conformance test in this package pins exactly that).
+//   - Writer — the WRITE plane: inserts into the backend's delta area,
+//     reporting (accepted, retrained) so callers see both duplicate
+//     rejection and policy-triggered maintenance.
+//   - Admin — the MAINTENANCE plane: explicit Retrain and the uniform
+//     Stats surface.
+//
+// Backend composes the three planes plus the direct read conveniences
+// (Lookup/ProbeSum/Len/Keys against the CURRENT state), so the attacks and
+// sweeps above it (core.OnlinePoisonAttack, core.ServeAttack,
+// core.ChurnAttack, the backend comparison sweep in internal/bench, the
+// defense wrappers) are written against interfaces alone and any substrate
+// — the updatable learned index (internal/dynamic), the B-Tree baseline
+// (internal/btree), the single-model RMI path (internal/rmi), the
+// range-partitioned sharded index (internal/shard), or a defense wrapper
+// (internal/defense) — can be swapped under any scenario without touching
+// the scenario.
+//
+// On top of the planes, this package provides the deterministic
+// background-retrain pipeline (pipeline.go): a wrapper that decouples WHEN
+// a rebuild's result becomes visible to the read plane from WHEN the write
+// plane triggered it, on a logical tick clock — the substrate of the
+// retrain-churn attack scenario (see DESIGN.md §7).
+//
+// The package is a near-leaf: it depends only on internal/keys and the
+// parallel substrate internal/engine, so backends in any substrate package
+// can import it without cycles, and internal/core can stay independent of
+// the substrates it attacks (see DESIGN.md §1, dependency rules).
 //
 // Contract notes:
 //
@@ -20,6 +41,10 @@
 //     to call concurrently with each other (but not with Insert/Retrain).
 //     The probe count is the implementation-independent lookup-cost metric
 //     every comparison in this repository uses.
+//   - Snapshot() is cheap for the learned backends (copy-on-write delta
+//     buffers; the immutable base set and model are shared) and O(n) for
+//     the B-Tree (a structural clone — the tree mutates on every write, so
+//     nothing smaller can be frozen).
 //   - Insert reports (accepted, retrained): accepted is false for
 //     duplicates (learned backends additionally reject negative keys, which
 //     fall outside the paper's [0, m) key universe); retrained is true when
@@ -58,41 +83,81 @@ type Stats struct {
 	Window int
 }
 
-// Backend is the index contract the scenarios drive. All implementations
-// are single-writer: Insert and Retrain must not run concurrently with
-// anything, while Lookup/ProbeSum/Len/Keys/Stats are read-only and may be
-// fanned out across workers between mutations.
-type Backend interface {
+// PointReader is the minimal probe-counted read surface. Both Backend
+// (reads against the current state) and Snapshot (reads against a frozen
+// state) satisfy it, so batch helpers and tests are written once.
+type PointReader interface {
 	// Lookup finds k, counting key comparisons.
 	Lookup(k int64) LookupResult
-	// Insert offers k; see the package comment for the (accepted,
-	// retrained) semantics.
-	Insert(k int64) (accepted, retrained bool)
-	// Retrain runs the backend's maintenance step (no-op if model-free).
-	Retrain()
-	// Len returns the total number of stored keys.
-	Len() int
-	// Keys materializes the full current content as a sorted key set —
-	// the "visible content" an insertion adversary computes poison against.
-	Keys() keys.Set
-	// Stats summarizes the backend state.
-	Stats() Stats
 	// ProbeSum runs a lookup for every query key and returns the exact
 	// total probe count plus how many keys were not found. Integer sums
 	// are partition-invariant, so callers may chunk queryKeys across
 	// workers and fold partial sums in any grouping — the property the
 	// serving scenarios' parallel evaluation leans on.
 	ProbeSum(queryKeys []int64) (probes int64, notFound int)
+	// Len returns the total number of stored keys.
+	Len() int
+	// Keys materializes the full content as a sorted key set — the
+	// "visible content" an insertion adversary computes poison against.
+	Keys() keys.Set
+}
+
+// Snapshot is an immutable point-in-time view of a backend's content: the
+// read plane's unit of publication. A Snapshot's answers are frozen at
+// capture: later Insert/Retrain calls on the backend it came from must not
+// change them. Probe counts through a fresh Snapshot are identical to
+// probe counts through the live backend at the moment of capture — the
+// equivalence that makes snapshot-served reads byte-compatible with the
+// historical direct-read paths (and that the zero-cost pipeline golden
+// tests pin).
+type Snapshot interface {
+	PointReader
+}
+
+// Reader is the read plane: it publishes the Snapshot lookups should be
+// served from. For a bare backend that is always the current state; behind
+// a retrain Pipeline it is the most recently PUBLISHED state, which lags
+// the write plane while a rebuild is in flight.
+type Reader interface {
+	Snapshot() Snapshot
+}
+
+// Writer is the write plane; see the package comment for the (accepted,
+// retrained) semantics.
+type Writer interface {
+	Insert(k int64) (accepted, retrained bool)
+}
+
+// Admin is the maintenance plane: explicit retrains and the uniform stats
+// surface.
+type Admin interface {
+	// Retrain runs the backend's maintenance step (no-op if model-free).
+	Retrain()
+	// Stats summarizes the backend state.
+	Stats() Stats
+}
+
+// Backend is the full index contract the scenarios drive: the three planes
+// plus direct reads against the current state. All implementations are
+// single-writer: Insert and Retrain must not run concurrently with
+// anything, while the read plane (Lookup/ProbeSum/Len/Keys/Stats/Snapshot)
+// is read-only and may be fanned out across workers between mutations; a
+// captured Snapshot additionally stays valid ACROSS mutations.
+type Backend interface {
+	Reader
+	Writer
+	Admin
+	PointReader
 }
 
 // ProbeSum is the reference batch evaluation: the exact per-key Lookup sum.
-// Backends embed or mirror it; tests use it to pin backend ProbeSum
+// Backends and snapshots embed or mirror it; tests use it to pin ProbeSum
 // implementations to their Lookup.
-func ProbeSum(b Backend, queryKeys []int64) (probes int64, notFound int) {
+func ProbeSum(r PointReader, queryKeys []int64) (probes int64, notFound int) {
 	for _, k := range queryKeys {
-		r := b.Lookup(k)
-		probes += int64(r.Probes)
-		if !r.Found {
+		res := r.Lookup(k)
+		probes += int64(res.Probes)
+		if !res.Found {
 			notFound++
 		}
 	}

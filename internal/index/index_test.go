@@ -124,6 +124,181 @@ func TestBackendConformance(t *testing.T) {
 	}
 }
 
+// TestBackendPlanes pins the three-plane split: every backend's Snapshot()
+// is probe-identical to its live read path at capture time, for stored and
+// absent keys alike. This is the equivalence that lets the serving
+// scenarios evaluate reads through snapshots without changing a byte.
+func TestBackendPlanes(t *testing.T) {
+	initial := fixture(t, 400)
+	queries := append(append([]int64(nil), initial.Keys()...), 1, 3, 5, 7, 1<<40)
+	for name, build := range backendFactories() {
+		t.Run(name, func(t *testing.T) {
+			// The planes are separately addressable...
+			var b index.Backend
+			b, err := build(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var _ index.Reader = b
+			var _ index.Writer = b
+			var _ index.Admin = b
+			// ...and the read plane matches the live state exactly.
+			checkSnapshot := func(when string) {
+				t.Helper()
+				snap := b.Snapshot()
+				if snap.Len() != b.Len() {
+					t.Fatalf("%s: snapshot Len %d != live %d", when, snap.Len(), b.Len())
+				}
+				if !snap.Keys().Equal(b.Keys()) {
+					t.Fatalf("%s: snapshot content diverges from live content", when)
+				}
+				for _, k := range queries {
+					if a, c := b.Lookup(k), snap.Lookup(k); a != c {
+						t.Fatalf("%s: Lookup(%d) live %+v != snapshot %+v", when, k, a, c)
+					}
+				}
+				lp, lm := b.ProbeSum(queries)
+				sp, sm := snap.ProbeSum(queries)
+				if lp != sp || lm != sm {
+					t.Fatalf("%s: ProbeSum live (%d,%d) != snapshot (%d,%d)", when, lp, lm, sp, sm)
+				}
+			}
+			checkSnapshot("fresh")
+			b.Insert(freshKey(initial))
+			checkSnapshot("after insert")
+			b.Retrain()
+			checkSnapshot("after retrain")
+		})
+	}
+}
+
+// TestSnapshotImmutability is the copy-on-retrain guarantee: a held
+// Snapshot's every answer must survive arbitrary later mutation of the
+// backend it came from — inserts, policy retrains, explicit retrains. This
+// is what "lookups never observe a half-built model" means operationally:
+// the read plane can keep serving a captured snapshot while the write and
+// admin planes churn underneath it.
+func TestSnapshotImmutability(t *testing.T) {
+	initial := fixture(t, 400)
+	queries := append(append([]int64(nil), initial.Keys()...), 1, 3, 5, 7, 1<<40)
+	for name, build := range backendFactories() {
+		t.Run(name, func(t *testing.T) {
+			b, err := build(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Buffer a few keys first so the snapshot holds delta-plane
+			// state too (the part a naive implementation would alias).
+			inserted := 0
+			for k := initial.Min() + 1; inserted < 8 && k < initial.Max(); k += 11 {
+				if ok, _ := b.Insert(k); ok {
+					inserted++
+				}
+			}
+			snap := b.Snapshot()
+			wantLen := snap.Len()
+			wantKeys := snap.Keys().Clone()
+			type answer struct {
+				r index.LookupResult
+				k int64
+			}
+			var want []answer
+			for _, k := range queries {
+				want = append(want, answer{r: snap.Lookup(k), k: k})
+			}
+			wantProbes, wantMiss := snap.ProbeSum(queries)
+
+			// Mutate hard: a burst of inserts (bound to trip any policy),
+			// then an explicit retrain, then more inserts.
+			for k := initial.Min() + 2; k < initial.Max() && b.Len() < wantLen+60; k += 5 {
+				b.Insert(k)
+			}
+			b.Retrain()
+			b.Insert(freshKey(b.Keys()))
+
+			if snap.Len() != wantLen {
+				t.Fatalf("snapshot Len changed: %d -> %d", wantLen, snap.Len())
+			}
+			if !snap.Keys().Equal(wantKeys) {
+				t.Fatal("snapshot content changed under mutation")
+			}
+			for _, w := range want {
+				if got := snap.Lookup(w.k); got != w.r {
+					t.Fatalf("snapshot Lookup(%d) changed: %+v -> %+v", w.k, w.r, got)
+				}
+			}
+			if p, m := snap.ProbeSum(queries); p != wantProbes || m != wantMiss {
+				t.Fatalf("snapshot ProbeSum changed: (%d,%d) -> (%d,%d)", wantProbes, wantMiss, p, m)
+			}
+		})
+	}
+}
+
+// TestTriggerPredictorConservative pins the TriggerPredictor contract: a
+// backend that answers RetrainPossible() == false must NOT retrain on the
+// next Insert — false negatives would make the pipeline freeze the read
+// plane at a post-rebuild state. (True is allowed to be wrong; false is a
+// promise.) Policies that can trigger are exercised through their whole
+// cycle, duplicates included.
+func TestTriggerPredictorConservative(t *testing.T) {
+	initial := fixture(t, 300)
+	factories := backendFactories()
+	factories["dynamic-buffer"] = func(ks keys.Set) (index.Backend, error) {
+		return dynamic.New(ks, dynamic.BufferLimit(5))
+	}
+	factories["dynamic-everyk"] = func(ks keys.Set) (index.Backend, error) {
+		return dynamic.New(ks, dynamic.EveryKInserts(7))
+	}
+	factories["shard-buffer"] = func(ks keys.Set) (index.Backend, error) {
+		return shard.New(ks, 4, dynamic.BufferLimit(5))
+	}
+	factories["guarded-buffer"] = func(ks keys.Set) (index.Backend, error) {
+		b, err := dynamic.New(ks, dynamic.BufferLimit(5))
+		if err != nil {
+			return nil, err
+		}
+		return defense.NewGuard(b, defense.GuardOptions{}), nil
+	}
+	for name, build := range factories {
+		t.Run(name, func(t *testing.T) {
+			b, err := build(initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp, ok := b.(index.TriggerPredictor)
+			if !ok {
+				t.Fatal("backend does not implement TriggerPredictor")
+			}
+			rng := xrand.New(23)
+			domain := 2 * (initial.Max() + 1)
+			triggered := 0
+			for i := 0; i < 400; i++ {
+				possible := tp.RetrainPossible()
+				_, retrained := b.Insert(rng.Int63n(domain))
+				if retrained {
+					triggered++
+					if !possible {
+						t.Fatalf("insert %d retrained after RetrainPossible() == false", i)
+					}
+				}
+			}
+			if kind := policyKindOf(name); kind != "" && triggered == 0 {
+				t.Fatalf("%s backend never triggered in 400 inserts — the test exercised nothing", kind)
+			}
+		})
+	}
+}
+
+// policyKindOf marks the factories whose policies are expected to actually
+// fire during the predictor test.
+func policyKindOf(name string) string {
+	switch name {
+	case "dynamic-buffer", "dynamic-everyk", "shard-buffer", "guarded-buffer":
+		return name
+	}
+	return ""
+}
+
 // freshKey returns an interior key absent from the set: the midpoint of the
 // first gap of width >= 3 (wide enough that no density guard flags it).
 func freshKey(ks keys.Set) int64 {

@@ -4,6 +4,28 @@ import (
 	"fmt"
 )
 
+// InsertAt places k at position i of the sorted slice buf and returns the
+// resulting slice. With clone=false it shifts in place (amortized append,
+// exactly the historical delta-buffer insert); with clone=true it builds a
+// fresh slice and leaves buf's backing array untouched — the copy-on-write
+// step the snapshot-isolated backends (dynamic.Index, rmi.Single) take on
+// the first mutation after handing out a snapshot that aliases buf. Both
+// backends share THIS implementation so the COW invariant lives in one
+// place.
+func InsertAt(buf []int64, i int, k int64, clone bool) []int64 {
+	if clone {
+		nb := make([]int64, len(buf)+1)
+		copy(nb, buf[:i])
+		nb[i] = k
+		copy(nb[i+1:], buf[i:])
+		return nb
+	}
+	buf = append(buf, 0)
+	copy(buf[i+1:], buf[i:])
+	buf[i] = k
+	return buf
+}
+
 // MutableSet is the mutable companion of Set for the attack hot loops: a
 // sorted, duplicate-free key slice with pre-reserved tail capacity so that
 // Insert is a single in-place memmove — no allocation, no re-sort — until

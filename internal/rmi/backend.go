@@ -16,14 +16,27 @@ import (
 )
 
 var _ index.Backend = (*Single)(nil)
+var _ index.Snapshot = (*singleView)(nil)
+
+// singleView is the complete read state of a Single at one instant: the
+// built model (immutable after Build — Retrain swaps in a fresh one) plus
+// the staged keys. It doubles as the backend's index.Snapshot: the staged
+// slice is copy-on-write, so a handed-out view is frozen at capture time.
+type singleView struct {
+	idx    *Index
+	base   keys.Set
+	staged []int64 // sorted, duplicate-free keys accepted since last rebuild
+}
 
 // Single is a single-model (fanout-1) RMI behind the index.Backend
 // contract. It is NOT safe for concurrent mutation; lookups are pure reads.
 type Single struct {
-	idx      *Index
-	base     keys.Set
-	staged   []int64 // sorted, duplicate-free keys accepted since last rebuild
-	retrains int
+	v singleView
+	// stagedShared marks the staged slice as aliased by a snapshot: the
+	// next mutation clones instead of editing in place.
+	stagedShared bool
+	retrains     int
+	lastRebuild  int // keys covered by the most recent Build (index.RebuildSizer)
 }
 
 // NewSingle builds the fanout-1 learned index over the initial keys.
@@ -32,22 +45,35 @@ func NewSingle(initial keys.Set) (*Single, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Single{idx: idx, base: initial}, nil
+	return &Single{v: singleView{idx: idx, base: initial}, lastRebuild: initial.Len()}, nil
 }
+
+// LastRebuildSize reports how many keys the most recent rebuild covered —
+// the size the background-retrain pipeline's cost model prices
+// (index.RebuildSizer).
+func (s *Single) LastRebuildSize() int { return s.lastRebuild }
+
+// RetrainPossible is always false: a static index never retrains on the
+// write path (index.TriggerPredictor).
+func (s *Single) RetrainPossible() bool { return false }
 
 // Lookup serves base keys through the model's guaranteed window and staged
 // keys by binary search, counting comparisons across both.
-func (s *Single) Lookup(k int64) index.LookupResult {
-	r := s.idx.Lookup(k)
+func (s *Single) Lookup(k int64) index.LookupResult { return s.v.Lookup(k) }
+
+// Lookup is the shared probe-counted point query both the live backend and
+// its snapshots serve through.
+func (v *singleView) Lookup(k int64) index.LookupResult {
+	r := v.idx.Lookup(k)
 	res := index.LookupResult{Found: r.Found, Probes: r.Probes, Window: r.Window}
 	if res.Found {
 		return res
 	}
-	lo, hi := 0, len(s.staged)-1
+	lo, hi := 0, len(v.staged)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		res.Probes++
-		switch c := s.staged[mid]; {
+		switch c := v.staged[mid]; {
 		case c == k:
 			res.Found = true
 			res.InBuffer = true
@@ -65,56 +91,73 @@ func (s *Single) Lookup(k int64) index.LookupResult {
 // A static index never retrains on the write path, so retrained is always
 // false — damage accrues as staging cost until the owner calls Retrain.
 func (s *Single) Insert(k int64) (accepted, retrained bool) {
-	if k < 0 || s.base.Contains(k) {
+	if k < 0 || s.v.base.Contains(k) {
 		return false, false
 	}
-	i := sort.Search(len(s.staged), func(i int) bool { return s.staged[i] >= k })
-	if i < len(s.staged) && s.staged[i] == k {
+	i := sort.Search(len(s.v.staged), func(i int) bool { return s.v.staged[i] >= k })
+	if i < len(s.v.staged) && s.v.staged[i] == k {
 		return false, false
 	}
-	s.staged = append(s.staged, 0)
-	copy(s.staged[i+1:], s.staged[i:])
-	s.staged[i] = k
+	s.v.staged = keys.InsertAt(s.v.staged, i, k, s.stagedShared)
+	s.stagedShared = false
 	return true, false
 }
 
 // Retrain rebuilds the model over base ∪ staged. Rebuilding with nothing
 // staged is legal and counted, matching the dynamic index's semantics.
+// Handed-out snapshots keep the OLD model: the rebuild constructs a fresh
+// *Index and only the live backend's view is repointed at it.
 func (s *Single) Retrain() {
-	if len(s.staged) > 0 {
-		s.base = s.base.Union(keys.FromSorted(s.staged))
-		s.staged = nil
+	if len(s.v.staged) > 0 {
+		s.v.base = s.v.base.Union(keys.FromSorted(s.v.staged))
+		s.v.staged = nil
+		s.stagedShared = false
 	}
-	idx, err := Build(s.base, Config{Fanout: 1})
+	idx, err := Build(s.v.base, Config{Fanout: 1})
 	if err != nil {
 		// Build succeeded on this base before (or on a superset-compatible
 		// one); a failure here is a programming error, not an input error.
 		panic("rmi: rebuild of single-model backend failed: " + err.Error())
 	}
-	s.idx = idx
+	s.v.idx = idx
 	s.retrains++
+	s.lastRebuild = s.v.base.Len()
+}
+
+// Snapshot freezes the current read state in O(1): the built model and
+// base set are immutable, and the staged slice goes copy-on-write.
+func (s *Single) Snapshot() index.Snapshot {
+	s.stagedShared = true
+	v := s.v
+	return &v
 }
 
 // Len returns the total number of stored keys (base + staged).
-func (s *Single) Len() int { return s.base.Len() + len(s.staged) }
+func (s *Single) Len() int { return s.v.Len() }
+
+// Len returns the total number of keys visible in this view.
+func (v *singleView) Len() int { return v.base.Len() + len(v.staged) }
 
 // Keys materializes the full current content (base ∪ staged).
-func (s *Single) Keys() keys.Set {
-	if len(s.staged) == 0 {
-		return s.base
+func (s *Single) Keys() keys.Set { return s.v.Keys() }
+
+// Keys materializes the view's content (base ∪ staged).
+func (v *singleView) Keys() keys.Set {
+	if len(v.staged) == 0 {
+		return v.base
 	}
-	return s.base.Union(keys.FromSorted(s.staged))
+	return v.base.Union(keys.FromSorted(v.staged))
 }
 
 // Stats reports the backend summary. ContentLoss evaluates the current
 // model's position predictions against the ranks of the full current
 // content, so staged (unmodeled) keys surface as staleness.
 func (s *Single) Stats() index.Stats {
-	st := s.idx.Stats()
+	st := s.v.idx.Stats()
 	content := s.Keys()
 	var sum float64
 	for i := 0; i < content.Len(); i++ {
-		d := s.idx.PredictPosition(content.At(i)) - float64(i+1)
+		d := s.v.idx.PredictPosition(content.At(i)) - float64(i+1)
 		sum += d * d
 	}
 	var contentLoss float64
@@ -123,7 +166,7 @@ func (s *Single) Stats() index.Stats {
 	}
 	return index.Stats{
 		Keys:        s.Len(),
-		Buffered:    len(s.staged),
+		Buffered:    len(s.v.staged),
 		Retrains:    s.retrains,
 		ModelLoss:   st.SecondStageMSE,
 		ContentLoss: contentLoss,
@@ -136,4 +179,9 @@ func (s *Single) Stats() index.Stats {
 // partition-invariant, so chunked parallel evaluation folds exactly.
 func (s *Single) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
 	return index.ProbeSum(s, queryKeys)
+}
+
+// ProbeSum is the snapshot's batch evaluation (reference per-key sum).
+func (v *singleView) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	return index.ProbeSum(v, queryKeys)
 }

@@ -56,12 +56,12 @@ func (idx *Index) lowerBound(k int64) (pos, probes int) {
 		pred := s.line.Predict(k)
 		lo = int(pred+s.eLo) - 1
 		hi = int(pred+s.eHi) + 1
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > n-1 {
-			hi = n - 1
-		}
+		// Clamp BOTH ends of both bounds: for absent keys the prediction is
+		// unguaranteed, and a model poisoned (or just skewed) enough can
+		// overshoot past n-1 or undershoot below 0 on either bound, which
+		// previously sent the widening loops below out of range.
+		lo = min(max(lo, 0), n-1)
+		hi = min(max(hi, 0), n-1)
 	}
 	// The window is guaranteed for stored keys; for absent keys the true
 	// lower bound may sit just outside — widen until bracketed.

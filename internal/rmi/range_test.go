@@ -108,6 +108,34 @@ func TestLowerBoundQuick(t *testing.T) {
 	}
 }
 
+// TestLowerBoundPredictionOvershoot is the deterministic regression for an
+// out-of-range panic TestLowerBoundQuick could only find by luck: for an
+// ABSENT key, a second-stage model skewed enough can predict a window
+// entirely past the end (or before the start) of the key array, and
+// lowerBound's widening loops then indexed out of range. Seed 5416
+// reproduces the exact configuration; the fix clamps both ends of both
+// bounds into [0, n-1]. (pla.lowerBound had the same bug, fixed in an
+// earlier revision — this is its RMI twin.)
+func TestLowerBoundPredictionOvershoot(t *testing.T) {
+	rng := xrand.New(5416)
+	n := 50 + rng.Intn(500)
+	ks, err := dataset.Uniform(rng, n, int64(n)*20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ks, Config{Fanout: 1 + rng.Intn(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		k := rng.Int63n(int64(n)*20 + 100)
+		got, _ := idx.lowerBound(k) // must not panic
+		if want := ks.CountLess(k); got != want {
+			t.Fatalf("lowerBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
 func TestConcurrentLookups(t *testing.T) {
 	// The index is immutable after Build; concurrent readers must be safe
 	// (run with -race in CI).

@@ -55,6 +55,11 @@ var _ index.Backend = (*Index)(nil)
 type Index struct {
 	cuts   []int64 // len = shards-1; shard i owns [cuts[i-1], cuts[i])
 	shards []*dynamic.Index
+	// lastRebuild is the key count the most recent retrain covered: ONE
+	// shard on the policy-triggered insert path, every shard on an explicit
+	// Retrain — the distinction that lets a rebuild cost model price
+	// partitioned maintenance honestly (index.RebuildSizer).
+	lastRebuild int
 }
 
 // New builds a sharded index: the router is fitted over the initial key
@@ -149,13 +154,14 @@ func partition(ks keys.Set, cuts []int64) []keys.Set {
 }
 
 // route returns the shard index owning k and the number of cut-key
-// comparisons the router performed.
-func (x *Index) route(k int64) (shard, probes int) {
-	lo, hi := 0, len(x.cuts)
+// comparisons performed, for any router cut set — shared by the live index
+// and its snapshots (the router is frozen, so both search the same cuts).
+func route(cuts []int64, k int64) (shard, probes int) {
+	lo, hi := 0, len(cuts)
 	for lo < hi {
 		mid := (lo + hi) / 2
 		probes++
-		if x.cuts[mid] <= k {
+		if cuts[mid] <= k {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -163,6 +169,8 @@ func (x *Index) route(k int64) (shard, probes int) {
 	}
 	return lo, probes
 }
+
+func (x *Index) route(k int64) (shard, probes int) { return route(x.cuts, k) }
 
 // NumShards returns the shard count.
 func (x *Index) NumShards() int { return len(x.shards) }
@@ -185,7 +193,11 @@ func (x *Index) Lookup(k int64) index.LookupResult {
 // Insert routes k to its shard; (accepted, retrained) are the shard's.
 func (x *Index) Insert(k int64) (accepted, retrained bool) {
 	s, _ := x.route(k)
-	return x.shards[s].Insert(k)
+	accepted, retrained = x.shards[s].Insert(k)
+	if retrained {
+		x.lastRebuild = x.shards[s].LastRebuildSize()
+	}
+	return accepted, retrained
 }
 
 // Retrain force-retrains every shard (the manual maintenance cycle).
@@ -193,6 +205,102 @@ func (x *Index) Retrain() {
 	for _, s := range x.shards {
 		s.Retrain()
 	}
+	x.lastRebuild = x.Len()
+}
+
+// RetrainParallel force-retrains every shard with the per-shard rebuilds
+// fanned out across the pool. Shards are independent and each rebuild is a
+// deterministic function of that shard's own state, so the resulting index
+// is byte-identical to a sequential Retrain for any worker count — the §2
+// determinism contract. This is the rebuild path the background-retrain
+// pipeline (index.Pipeline) uses when given a pool.
+func (x *Index) RetrainParallel(ctx context.Context, pool *engine.Pool) error {
+	_, err := engine.Map(ctx, pool, len(x.shards), func(i int) (struct{}, error) {
+		x.shards[i].Retrain()
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return err
+	}
+	x.lastRebuild = x.Len()
+	return nil
+}
+
+// LastRebuildSize reports the key count of the most recent retrain — one
+// shard for a policy-triggered rebuild, the whole index for an explicit
+// Retrain (index.RebuildSizer).
+func (x *Index) LastRebuildSize() int {
+	if x.lastRebuild == 0 {
+		return x.Len()
+	}
+	return x.lastRebuild
+}
+
+// RetrainPossible reports whether the next Insert could trigger a policy
+// retrain in ANY shard (index.TriggerPredictor): the insert routes to one
+// shard the predictor cannot know in advance, so the answer is the
+// conservative disjunction.
+func (x *Index) RetrainPossible() bool {
+	for _, s := range x.shards {
+		if s.RetrainPossible() {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot freezes the read state: the frozen router cuts plus one O(1)
+// copy-on-write snapshot per shard. Router cost through the snapshot is
+// counted exactly as on the live index, so snapshot probe totals match
+// live probe totals at capture time.
+func (x *Index) Snapshot() index.Snapshot {
+	subs := make([]index.Snapshot, len(x.shards))
+	for i, s := range x.shards {
+		subs[i] = s.Snapshot()
+	}
+	return &shardSnapshot{cuts: x.cuts, subs: subs}
+}
+
+// shardSnapshot is the composed immutable view: every shard's snapshot
+// behind the same frozen router.
+type shardSnapshot struct {
+	cuts []int64
+	subs []index.Snapshot
+}
+
+var _ index.Snapshot = (*shardSnapshot)(nil)
+
+// Lookup routes k and queries the owning shard's snapshot, counting router
+// comparisons plus shard probes.
+func (s *shardSnapshot) Lookup(k int64) index.LookupResult {
+	i, rp := route(s.cuts, k)
+	res := s.subs[i].Lookup(k)
+	res.Probes += rp
+	return res
+}
+
+// ProbeSum is the snapshot's batch evaluation (reference per-key sum).
+func (s *shardSnapshot) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
+	return index.ProbeSum(s, queryKeys)
+}
+
+// Len returns the total number of keys visible in this snapshot.
+func (s *shardSnapshot) Len() int {
+	n := 0
+	for _, sub := range s.subs {
+		n += sub.Len()
+	}
+	return n
+}
+
+// Keys materializes the snapshot's content; shard ranges are disjoint and
+// ordered, so concatenation in shard order is already sorted.
+func (s *shardSnapshot) Keys() keys.Set {
+	out := make([]int64, 0, s.Len())
+	for _, sub := range s.subs {
+		out = append(out, sub.Keys().Keys()...)
+	}
+	return keys.FromSorted(out)
 }
 
 // Len returns the total number of stored keys across shards.

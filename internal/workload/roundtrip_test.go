@@ -1,0 +1,60 @@
+package workload
+
+// The spec round-trip PROPERTY test: FuzzParseSpec checks parser-side
+// round trips over arbitrary strings, but only inputs the fuzzer happens
+// to synthesize; this test quantifies over the CONSTRUCTOR side — specs
+// built programmatically (as the bench sweeps and API callers do) must
+// survive String → ParseSpec exactly, for a deterministic sample of the
+// whole parameter space plus its boundary values.
+
+import (
+	"testing"
+
+	"cdfpoison/internal/xrand"
+)
+
+func TestSpecRoundTripProperty(t *testing.T) {
+	check := func(s Spec) {
+		t.Helper()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generated spec %+v invalid: %v", s, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Fatalf("round trip of %+v via %q: got %+v", s, s.String(), back)
+		}
+	}
+
+	// Boundary values of every field.
+	for _, s := range []Spec{
+		NewUniform(0), NewUniform(100), NewUniform(12.5),
+		NewZipf(0.0625, 0), NewZipf(1.1, 90), NewZipf(4, 100),
+		NewHotspot(0.25, 0), NewHotspot(100, 100), NewHotspot(1, 90),
+	} {
+		check(s)
+	}
+
+	// Deterministic random sample across the parameter space. Parameters
+	// are drawn on a binary grid (multiples of 1/16) so every value prints
+	// exactly under %g and the property isolates PARSER fidelity, not
+	// decimal float formatting.
+	rng := xrand.New(99)
+	grid := func(lo, hi float64) float64 {
+		steps := int((hi - lo) * 16)
+		return lo + float64(rng.Intn(steps+1))/16
+	}
+	for i := 0; i < 500; i++ {
+		readPct := grid(0, 100)
+		switch rng.Intn(3) {
+		case 0:
+			check(NewUniform(readPct))
+		case 1:
+			check(NewZipf(grid(0.0625, 8), readPct))
+		default:
+			check(NewHotspot(grid(0.0625, 100), readPct))
+		}
+	}
+}
