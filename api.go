@@ -16,6 +16,7 @@ import (
 	"cdfpoison/internal/pla"
 	"cdfpoison/internal/regression"
 	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/serve"
 	"cdfpoison/internal/shard"
 	"cdfpoison/internal/workload"
 	"cdfpoison/internal/xrand"
@@ -441,6 +442,59 @@ type ChurnEpochReport = core.ChurnEpochReport
 // changing any result byte.
 func ChurnAttack(initial KeySet, opts ChurnOptions, execOpts ...AttackOption) (ChurnResult, error) {
 	return core.ChurnAttack(initial, opts, execOpts...)
+}
+
+// ServingPlaneOptions are the concurrent serving plane's knobs: reader
+// goroutine count and read-batch size. The zero value is valid; neither
+// knob affects any metric — only wall-clock throughput (the scheduler-
+// equivalence contract, DESIGN.md §8).
+type ServingPlaneOptions = serve.Options
+
+// ServingScenarioOptions parameterizes one serving scenario: a workload
+// stream served for Epochs epochs of OpsPerEpoch operations, with
+// EpochBudget poison keys per epoch drip-fed into the write plane by the
+// PoisonOracle.
+type ServingScenarioOptions = serve.ScenarioOptions
+
+// ServingEpochMetrics is one epoch's deterministic result: tail-latency
+// percentiles in probes (p50/p99/p999), stale-read fraction, content loss,
+// and pipeline churn counters — byte-identical under the tick oracle and
+// the concurrent plane, for any reader count.
+type ServingEpochMetrics = serve.EpochMetrics
+
+// ProbeHistogram is the deterministic HDR-style histogram behind the
+// percentiles: fixed log-bucket layout, exact below 64, relative error
+// ≤ 1/32 above, with a merge that is commutative and associative.
+type ProbeHistogram = serve.Histogram
+
+// PoisonOracle computes a poison key sequence against the currently
+// visible content; the scenario calls it once per epoch.
+type PoisonOracle = serve.Oracle
+
+// GreedyPoisonOracle adapts GreedyMultiPoint (Algorithm 1) to the serving
+// scenario's per-epoch oracle shape.
+func GreedyPoisonOracle(opts ...AttackOption) PoisonOracle {
+	return func(visible KeySet, budget int) ([]int64, error) {
+		g, err := core.GreedyMultiPoint(visible, budget, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return g.Poison, nil
+	}
+}
+
+// ServeScenarioTick runs the serving scenario on the single-threaded tick
+// scheduler — the golden oracle the concurrent plane is tested against.
+func ServeScenarioTick(b IndexBackend, o ServingScenarioOptions) ([]ServingEpochMetrics, error) {
+	return serve.RunTick(b, o)
+}
+
+// ServeScenarioConcurrent runs the serving scenario on the goroutine-
+// concurrent plane: lock-free lookups off immutable snapshots published
+// through an atomic version chain, a single writer, and true background
+// retrains. Deterministic metrics are identical to ServeScenarioTick.
+func ServeScenarioConcurrent(ctx context.Context, b IndexBackend, o ServingScenarioOptions, p ServingPlaneOptions) ([]ServingEpochMetrics, error) {
+	return serve.RunConcurrent(ctx, b, o, p)
 }
 
 // PredictionOracle is query access to a deployed index's raw position

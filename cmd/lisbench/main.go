@@ -10,8 +10,9 @@
 //	lisbench -fig 6 -scale large -out results/
 //	lisbench -fig online -out results/   # online scenario: ratio/probes vs epoch
 //	lisbench -fig churn -out results/    # retrain-churn scenario: staleness vs epoch
-//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR5.json
-//	lisbench -fig perf -scale quick -baseline BENCH_PR5.json   # CI regression gate
+//	lisbench -fig throughput -out results/  # concurrent serving: tail latency + ops/sec
+//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR6.json
+//	lisbench -fig perf -scale quick -baseline BENCH_PR6.json   # CI regression gate
 //
 // The perf sweep is machine-dependent by nature, so it is NOT part of -fig
 // all; with -baseline the command exits non-zero when any matched cell
@@ -44,13 +45,13 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|perf|all (all excludes perf)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|throughput|perf|all (all excludes perf)")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 	)
-	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR5.json) to compare the perf sweep against; exit 1 on regression")
+	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR6.json) to compare the perf sweep against; exit 1 on regression")
 	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
@@ -67,23 +68,26 @@ func main() {
 	}
 
 	runners := map[string]func(bench.Options, string) error{
-		"2":        runFig2,
-		"3":        runFig3,
-		"4":        runFig4,
-		"5":        runFig5,
-		"6":        runFig6,
-		"7":        runFig7,
-		"8":        runFig8,
-		"ext":      runExtensions,
-		"ablation": runAblations,
-		"online":   runOnline,
-		"serve":    runServe,
-		"churn":    runChurn,
-		"perf":     runPerf,
+		"2":          runFig2,
+		"3":          runFig3,
+		"4":          runFig4,
+		"5":          runFig5,
+		"6":          runFig6,
+		"7":          runFig7,
+		"8":          runFig8,
+		"ext":        runExtensions,
+		"ablation":   runAblations,
+		"online":     runOnline,
+		"serve":      runServe,
+		"churn":      runChurn,
+		"throughput": runThroughput,
+		"perf":       runPerf,
 	}
 	// perf is deliberately absent: wall-clock benchmarks do not belong in a
-	// figures-regeneration run (they are requested explicitly).
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn"}
+	// figures-regeneration run (they are requested explicitly). throughput IS
+	// included: its CSV columns are deterministic (ops/sec goes to stdout
+	// only), so it regenerates like any figure.
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn", "throughput"}
 
 	var selected []string
 	if *fig == "all" {
@@ -118,6 +122,8 @@ func name(f string) string {
 		return "serving scenario"
 	case "churn":
 		return "retrain-churn scenario"
+	case "throughput":
+		return "throughput scenario"
 	case "perf":
 		return "perf sweep"
 	default:
@@ -570,7 +576,7 @@ func runServe(opts bench.Options, out string) error {
 
 // perfArtifact is the perf report's file name: the repository root holds
 // the checked-in baseline of the same name that CI gates against.
-const perfArtifact = "BENCH_PR5.json"
+const perfArtifact = "BENCH_PR6.json"
 
 // runChurn renders the retrain-churn sweep: the per-epoch staleness,
 // publish-latency, and loss trajectory of core.ChurnAttack across
@@ -620,6 +626,80 @@ func runChurn(opts bench.Options, out string) error {
 	fmt.Printf("max stale-read fraction: %.2f, max publish latency: %d ticks\n",
 		res.MaxStaleFrac(), res.MaxLatency())
 	return writeCSV(out, "churn.csv", tb)
+}
+
+// runThroughput renders the concurrent-serving throughput sweep: per-epoch
+// tail-latency percentiles (probe counts — deterministic, so the CSV is
+// fingerprintable) clean vs poisoned, with wall-clock ops/sec on stdout
+// only.
+func runThroughput(opts bench.Options, out string) error {
+	fmt.Println("=== Throughput scenario: tail latency of the concurrent serving plane under poisoning ===")
+	res, err := bench.ThroughputSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n = %d initial keys, %d shards, policy %s, %d epochs per cell, %d ops/epoch, %d readers × batch %d\n",
+		res.Keys, res.Shards, res.Policy, res.EpochsPerCell, res.OpsPerEpoch, res.Readers, res.BatchSize)
+	tb := export.NewTable("workload", "cost", "budget_pct", "epoch",
+		"clean_p50", "clean_p99", "clean_p999", "clean_max",
+		"poisoned_p50", "poisoned_p99", "poisoned_p999", "poisoned_max",
+		"p99_ratio", "p999_ratio", "clean_probes", "poisoned_probes",
+		"clean_stale_frac", "poisoned_stale_frac", "injected",
+		"clean_loss", "poisoned_loss", "loss_ratio",
+		"clean_hist_sum", "poisoned_hist_sum")
+	for _, c := range res.Cells {
+		for e := range c.Poisoned {
+			cl, po := c.Clean[e], c.Poisoned[e]
+			tb.AddRow(c.Workload.String(), c.Cost.String(), export.F(c.BudgetPct),
+				fmt.Sprint(po.Epoch),
+				fmt.Sprint(cl.P50), fmt.Sprint(cl.P99), fmt.Sprint(cl.P999), fmt.Sprint(cl.MaxProbes),
+				fmt.Sprint(po.P50), fmt.Sprint(po.P99), fmt.Sprint(po.P999), fmt.Sprint(po.MaxProbes),
+				export.F(ratio(po.P99, cl.P99)), export.F(ratio(po.P999, cl.P999)),
+				fmt.Sprint(cl.ProbeTotal), fmt.Sprint(po.ProbeTotal),
+				export.F(cl.StaleFrac), export.F(po.StaleFrac), fmt.Sprint(po.Injected),
+				export.F(cl.ContentLoss), export.F(po.ContentLoss),
+				export.F(ratio64(po.ContentLoss, cl.ContentLoss)),
+				fmt.Sprintf("%016x", cl.HistChecksum), fmt.Sprintf("%016x", po.HistChecksum))
+		}
+	}
+	tb.Render(os.Stdout)
+	// Tail-latency chart: poisoned p999 vs epoch for each cost model under
+	// the zipf mix.
+	var series []export.Series
+	for _, c := range res.Cells {
+		if !strings.HasPrefix(c.Workload.String(), "zipf") {
+			continue
+		}
+		var xs, ys []float64
+		for _, e := range c.Poisoned {
+			xs = append(xs, float64(e.Epoch))
+			ys = append(ys, float64(e.P999))
+		}
+		series = append(series, export.Series{Name: c.Cost.String(), X: xs, Y: ys})
+	}
+	export.RenderChart(os.Stdout, "Poisoned p999 probe latency vs epoch (zipf mix)", series, 64, 12)
+	// Wall-clock figures: stdout only, never in the fingerprinted CSV.
+	fmt.Println("wall-clock throughput (machine-dependent, not in CSV):")
+	for _, c := range res.Cells {
+		fmt.Printf("  %-14s %-24s clean %10.0f ops/s   poisoned %10.0f ops/s\n",
+			c.Workload, c.Cost, c.CleanOpsPerSec, c.PoisonedOpsPerSec)
+	}
+	fmt.Printf("max poisoned/clean p999 ratio: %.2f×\n", res.MaxP999Ratio())
+	return writeCSV(out, "throughput.csv", tb)
+}
+
+func ratio(poisoned, clean int64) float64 {
+	return ratio64(float64(poisoned), float64(clean))
+}
+
+func ratio64(poisoned, clean float64) float64 {
+	if clean == 0 {
+		if poisoned == 0 {
+			return 1
+		}
+		return poisoned
+	}
+	return poisoned / clean
 }
 
 // runPerf measures the fixed attack×n×workers cell list (bench.PerfSweep),

@@ -10,6 +10,7 @@
 //	lispoison online -in keys.txt -epochs 8 -percent 2 -policy buffer:256 -o p.txt
 //	lispoison serve  -in keys.txt -epochs 6 -percent 2 -shards 4 -workload zipf:1.1:90
 //	lispoison churn  -in keys.txt -epochs 6 -percent 2 -shards 4 -policy buffer:64 -cost linear:10:25:100
+//	lispoison throughput -in keys.txt -epochs 5 -percent 2 -readers 4 -cost fixed:40
 //	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
 //	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
 //
@@ -32,13 +33,22 @@
 // work, and the per-epoch table reports stale-read fractions, publish
 // latency in ticks, and the loss ratio against the clean counterfactual.
 //
-// Every command is deterministic given -seed.
+// The throughput subcommand runs the goroutine-concurrent serving plane
+// (-readers reader goroutines off immutable snapshots, one writer, true
+// background retrains) clean vs poisoned and prints per-epoch tail-latency
+// percentiles (p50/p99/p999 in probes — identical for any -readers value)
+// plus wall-clock ops/sec.
+//
+// Every command is deterministic given -seed (throughput's ops/sec figures
+// are wall-clock; every other column is deterministic).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cdfpoison"
 )
@@ -59,6 +69,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "churn":
 		err = cmdChurn(os.Args[2:])
+	case "throughput":
+		err = cmdThroughput(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "defend":
@@ -76,15 +88,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|eval|defend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|throughput|eval|defend> [flags]
 
-  gen     generate a key dataset (uniform|normal|lognormal|salaries|osm)
-  attack  poison a key file (linear regression on CDF, or two-stage RMI)
-  online  drip-feed poison into an updatable index across retrain cycles
-  serve   poison a sharded serving index under an honest read/write load
-  churn   maximize retrain churn and stale windows on the rebuild pipeline
-  eval    measure ratio loss of a poisoned file against the clean file
-  defend  run the TRIM defense on a poisoned file
+  gen        generate a key dataset (uniform|normal|lognormal|salaries|osm)
+  attack     poison a key file (linear regression on CDF, or two-stage RMI)
+  online     drip-feed poison into an updatable index across retrain cycles
+  serve      poison a sharded serving index under an honest read/write load
+  churn      maximize retrain churn and stale windows on the rebuild pipeline
+  throughput poison the concurrent serving plane; report tail-latency SLOs
+  eval       measure ratio loss of a poisoned file against the clean file
+  defend     run the TRIM defense on a poisoned file
 
 Run 'lispoison <subcommand> -h' for flags.`)
 	os.Exit(2)
@@ -466,6 +479,109 @@ func cmdChurn(args []string) error {
 		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
 	}
 	return nil
+}
+
+func cmdThroughput(args []string) error {
+	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	epochs := fs.Int("epochs", 5, "number of serving epochs")
+	percent := fs.Float64("percent", 2, "per-EPOCH poisoning percentage of the input keys")
+	shards := fs.Int("shards", 4, "shard count (1 = unsharded)")
+	policyStr := fs.String("policy", "buffer:64", "per-shard retrain policy: manual | every:K | buffer:K")
+	costStr := fs.String("cost", "fixed:40", "rebuild cost model: zero | fixed:F | linear:F:P[:U]")
+	workloadStr := fs.String("workload", "zipf:1.1:90", "honest mix: uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]")
+	ops := fs.Int("ops", 0, "honest operations per epoch (default 10% of the input keys)")
+	seed := fs.Uint64("seed", 42, "rng seed for the operation stream")
+	readers := fs.Int("readers", 0, "reader goroutines: 0 = one per core; percentiles are identical for any value")
+	batch := fs.Int("batch", 0, "reads per dispatch batch (0 = default); does not affect any metric")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("throughput: -in is required")
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	policy, err := cdfpoison.ParseRetrainPolicy(*policyStr)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	cost, err := cdfpoison.ParseRebuildCost(*costStr)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	mix, err := cdfpoison.ParseWorkload(*workloadStr)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	opsPerEpoch := *ops
+	if opsPerEpoch == 0 {
+		opsPerEpoch = ks.Len() / 10
+	}
+	domain := ks.Max() + ks.Max()/10 + 1
+	base := cdfpoison.ServingScenarioOptions{
+		Epochs:      *epochs,
+		OpsPerEpoch: opsPerEpoch,
+		Workload:    mix,
+		Domain:      domain,
+		Seed:        *seed,
+		Cost:        cost,
+		Oracle:      cdfpoison.GreedyPoisonOracle(),
+	}
+	plane := cdfpoison.ServingPlaneOptions{Readers: *readers, BatchSize: *batch}
+	run := func(budget int) ([]cdfpoison.ServingEpochMetrics, float64, error) {
+		b, err := cdfpoison.NewShardedIndex(ks, *shards, policy)
+		if err != nil {
+			return nil, 0, err
+		}
+		o := base
+		o.EpochBudget = budget
+		start := time.Now()
+		m, err := cdfpoison.ServeScenarioConcurrent(context.Background(), b, o, plane)
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed := time.Since(start)
+		total := 0
+		for _, e := range m {
+			total += e.Reads + e.Writes + e.Injected
+		}
+		return m, float64(total) / elapsed.Seconds(), nil
+	}
+	clean, cleanOps, err := run(0)
+	if err != nil {
+		return fmt.Errorf("throughput: clean run: %w", err)
+	}
+	budget := int(float64(ks.Len()) * *percent / 100)
+	poisoned, poisonedOps, err := run(budget)
+	if err != nil {
+		return fmt.Errorf("throughput: poisoned run: %w", err)
+	}
+	fmt.Printf("throughput scenario: %d shards, policy=%s, cost=%s, workload=%s, %d ops/epoch over %d epochs, budget %d/epoch\n",
+		*shards, policy, cost, mix, opsPerEpoch, *epochs, budget)
+	fmt.Printf("%5s %9s %9s %10s %11s %9s %10s %11s %8s %7s %7s\n",
+		"epoch", "clean_p50", "clean_p99", "clean_p999",
+		"poison_p50", "poison_p99", "poison_p999", "stale_frac", "injected", "ratio", "p999×")
+	for i, p := range poisoned {
+		c := clean[i]
+		fmt.Printf("%5d %9d %9d %10d %11d %9d %10d %11.3f %8d %7.2f %7.2f\n",
+			p.Epoch, c.P50, c.P99, c.P999, p.P50, p.P99, p.P999,
+			p.StaleFrac, p.Injected, safeRatio(p.ContentLoss, c.ContentLoss),
+			safeRatio(float64(p.P999), float64(c.P999)))
+	}
+	fmt.Printf("wall-clock (machine-dependent): clean %.0f ops/s, poisoned %.0f ops/s, %d readers\n",
+		cleanOps, poisonedOps, plane.WithDefaults().Readers)
+	return nil
+}
+
+func safeRatio(poisoned, clean float64) float64 {
+	if clean == 0 {
+		if poisoned == 0 {
+			return 1
+		}
+		return poisoned
+	}
+	return poisoned / clean
 }
 
 func cmdEval(args []string) error {

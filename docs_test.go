@@ -91,6 +91,10 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			// internal/index (planes, cost models, pipeline), the churn
 			// scenario (internal/core/churn.go), and api.go cite §7.
 			"§7 Read/write/admin planes and the retrain pipeline",
+			// internal/serve (version chain, scheduler equivalence,
+			// histograms), index.Pipeline.ReadRevision, and api.go cite §8.
+			"§8 Concurrent serving plane",
+			"Scheduler equivalence",
 		},
 		// doc.go promises the paper-vs-measured record; api.go cites Ext. F;
 		// bench/perf.go and the CI gate cite the perf trajectory.
@@ -105,11 +109,17 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"churn.csv",
 			"| F |",
 			"-seed 42",
-			// BENCH_PR5.json is the live baseline the CI gate and
-			// internal/bench/perf.go cite; BENCH_PR3.json stays recorded as
-			// the previous trajectory point.
+			// BENCH_PR6.json is the live baseline the CI gate and
+			// internal/bench/perf.go cite; BENCH_PR3.json and BENCH_PR5.json
+			// stay recorded as previous trajectory points.
 			"BENCH_PR3.json",
 			"BENCH_PR5.json",
+			"BENCH_PR6.json",
+			// The throughput scenario (internal/bench/throughput.go,
+			// cmd/lisbench) cites its CSV fingerprint section.
+			"Throughput scenario",
+			"-fig throughput",
+			"throughput.csv",
 		},
 		// doc.go points readers at the catalog and sweep instructions.
 		"README.md": {
@@ -120,6 +130,7 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"ChurnAttack",
 			"NewShardedIndex",
 			"NewRetrainPipeline",
+			"ServeScenarioConcurrent",
 			"figure sweeps",
 		},
 	} {

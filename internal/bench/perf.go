@@ -8,12 +8,13 @@ package bench
 // any optimization actually landed. PerfSweep measures a FIXED cell list
 // (attack × n × workers, identical at every Scale so reports from any two
 // runs can be compared record-by-record), and the report serializes to the
-// perf artifact (BENCH_PR5.json at the repository root — BENCH_PR3.json is
+// perf artifact (BENCH_PR6.json at the repository root — BENCH_PR5.json is
 // the previous trajectory point): the checked-in baseline CI replays
 // against (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale
 // only controls how long each cell is sampled, never what it runs.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -23,6 +24,8 @@ import (
 	"cdfpoison/internal/dynamic"
 	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
+	"cdfpoison/internal/serve"
+	"cdfpoison/internal/shard"
 	"cdfpoison/internal/workload"
 	"cdfpoison/internal/xrand"
 )
@@ -53,7 +56,8 @@ func (r PerfRecord) Key() string {
 	return fmt.Sprintf("%s/n=%d/p=%d/workers=%d", r.Attack, r.N, r.P, r.Workers)
 }
 
-// PerfReport is the full sweep result, serialized to BENCH_PR3.json.
+// PerfReport is the full sweep result, serialized to the perf artifact
+// (BENCH_PR6.json).
 type PerfReport struct {
 	Schema     string       `json:"schema"`
 	Scale      string       `json:"scale"`
@@ -123,6 +127,23 @@ func perfCells() []perfCell {
 				Seed:        99,
 				Cost:        index.CostModel{Fixed: 50},
 			}, core.WithWorkers(w))
+			return err
+		}},
+		{attack: "throughput", n: 4_000, p: 80, op: func(ks keys.Set, w int) error {
+			b, err := shard.New(ks, 4, dynamic.BufferLimit(32))
+			if err != nil {
+				return err
+			}
+			_, err = serve.RunConcurrent(context.Background(), b, serve.ScenarioOptions{
+				Epochs:      3,
+				OpsPerEpoch: 200,
+				EpochBudget: 80,
+				Workload:    workload.NewZipf(1.1, 90),
+				Domain:      int64(4_000) * 100,
+				Seed:        99,
+				Cost:        index.CostModel{Fixed: 50},
+				Oracle:      GreedyOracle(),
+			}, serve.Options{Readers: w})
 			return err
 		}},
 		{attack: "online", n: 5_000, p: 100, op: func(ks keys.Set, w int) error {

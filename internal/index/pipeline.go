@@ -141,6 +141,10 @@ type Pipeline struct {
 	// the in-flight rebuild (-1 when none).
 	queuedAt int64
 
+	// rev counts read-plane revisions: it advances whenever the answers the
+	// read plane gives MAY have changed (see ReadRevision).
+	rev uint64
+
 	stats ChurnStats
 }
 
@@ -177,6 +181,27 @@ func (p *Pipeline) ChurnStats() ChurnStats {
 // currently served from a frozen pre-rebuild snapshot.
 func (p *Pipeline) IsStale() bool { return p.published != nil }
 
+// ReadRevision returns the read-plane revision: a counter that advances
+// whenever the answers Snapshot/Lookup/ProbeSum give MAY differ from the
+// previous call. A serving layer that materializes versions from Snapshot()
+// (internal/serve, DESIGN.md §8) re-captures only when the revision moved,
+// so a long stale window — where the read plane is pinned to one frozen
+// snapshot while writes accumulate behind an in-flight rebuild — costs zero
+// captures. The counter is CONSERVATIVE the safe way around: it may advance
+// when the content happens to be identical (a no-op explicit Retrain), but
+// it never stays put across a visible change. Concretely it advances on
+//
+//   - every publish (the read plane steps one version forward),
+//   - an accepted Insert while no rebuild is in flight (the delta write is
+//     immediately visible), and
+//   - a Retrain that completes instantly (zero or free cost model), since
+//     the refit changes probe counts even though the key content is equal.
+//
+// It does NOT advance while a rebuild is in flight: accepted inserts and
+// coalesced retrains mutate only the live write plane, and the frozen
+// published snapshot keeps answering identically until the next publish.
+func (p *Pipeline) ReadRevision() uint64 { return p.rev }
+
 // Tick advances the logical clock by n ticks (n >= 0), publishing every
 // rebuild whose cost has elapsed and starting any coalesced follow-up.
 func (p *Pipeline) Tick(n int) {
@@ -198,6 +223,7 @@ func (p *Pipeline) Tick(n int) {
 // triggers coalesced behind it, chains the follow-up rebuild.
 func (p *Pipeline) publish() {
 	done := p.readyAt
+	p.rev++
 	p.stats.Publishes++
 	if done > p.staleMark {
 		p.stats.StaleTicks += done - p.staleMark
@@ -279,6 +305,9 @@ func (p *Pipeline) Insert(k int64) (accepted, retrained bool) {
 		if retrained {
 			p.trigger(nil)
 		}
+		if accepted || retrained {
+			p.rev++
+		}
 		return accepted, retrained
 	}
 	var pre Snapshot
@@ -299,6 +328,9 @@ func (p *Pipeline) Insert(k int64) (accepted, retrained bool) {
 			pre = p.backend.Snapshot()
 		}
 		p.trigger(pre)
+	}
+	if (accepted || retrained) && p.published == nil {
+		p.rev++
 	}
 	return accepted, retrained
 }
@@ -335,6 +367,9 @@ func (p *Pipeline) Retrain() {
 		p.backend.Retrain()
 	}
 	p.trigger(pre)
+	if p.published == nil {
+		p.rev++
+	}
 }
 
 // Snapshot returns the read plane's current view: the frozen pre-rebuild

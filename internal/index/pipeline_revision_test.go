@@ -1,0 +1,141 @@
+package index_test
+
+// Tests of Pipeline.ReadRevision, the read-plane revision counter the
+// concurrent serving plane (internal/serve) keys its snapshot captures off:
+// a property test pinning the conservative contract — the revision may
+// over-advance but never stays put across a visible read-plane change — and
+// a direct test of the documented bump sites.
+
+import (
+	"testing"
+
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/xrand"
+)
+
+// TestReadRevisionTracksReadPlane drives every backend behind every cost
+// model with a deterministic op mix and asserts the contract callers rely
+// on: whenever ReadRevision is unchanged between two observations, the read
+// plane answers byte-identically.
+func TestReadRevisionTracksReadPlane(t *testing.T) {
+	costs := map[string]index.CostModel{
+		"zero":   {},
+		"fixed":  {Fixed: 7},
+		"linear": {Fixed: 5, PerKey: 20, Unit: 100},
+	}
+	for name, build := range backendFactories() {
+		for cname, cost := range costs {
+			t.Run(name+"/"+cname, func(t *testing.T) {
+				initial := fixture(t, 300)
+				inner, err := build(initial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := index.NewPipeline(inner, cost)
+				queries := append(append([]int64(nil), initial.Keys()[:64]...), 1, 3, 1<<40)
+				rng := xrand.New(99)
+				domain := 2 * (initial.Max() + 1)
+
+				lastRev := p.ReadRevision()
+				lastProbes, lastMiss := p.ProbeSum(queries)
+				observe := func(step int) {
+					t.Helper()
+					rev := p.ReadRevision()
+					probes, miss := p.ProbeSum(queries)
+					if rev < lastRev {
+						t.Fatalf("step %d: revision ran backwards: %d -> %d", step, lastRev, rev)
+					}
+					if rev == lastRev && (probes != lastProbes || miss != lastMiss) {
+						t.Fatalf("step %d: read plane changed (%d,%d) -> (%d,%d) with revision pinned at %d",
+							step, lastProbes, lastMiss, probes, miss, rev)
+					}
+					lastRev, lastProbes, lastMiss = rev, probes, miss
+				}
+				for step := 0; step < 300; step++ {
+					p.Tick(1)
+					switch rng.Intn(12) {
+					case 10:
+						p.Retrain()
+					case 11:
+						p.Tick(rng.Intn(30))
+					default:
+						p.Insert(rng.Int63n(domain))
+					}
+					observe(step)
+				}
+			})
+		}
+	}
+}
+
+// TestReadRevisionBumpSites checks the documented bump sites directly on a
+// buffer-policy dynamic index behind a costed pipeline.
+func TestReadRevisionBumpSites(t *testing.T) {
+	p, initial := pipeFixture(t, 4, index.CostModel{Fixed: 10})
+	base := p.ReadRevision()
+
+	// A rejected duplicate leaves the read plane — and the revision — alone.
+	if acc, _ := p.Insert(initial.At(0)); acc {
+		t.Fatal("duplicate insert unexpectedly accepted")
+	}
+	if got := p.ReadRevision(); got != base {
+		t.Fatalf("rejected insert bumped revision: %d -> %d", base, got)
+	}
+
+	// Accepted inserts while live bump by exactly one; the insert that trips
+	// the policy freezes the plane at the pre-insert state and must NOT bump.
+	fresh := []int64{initial.Min() + 1, initial.Min() + 2, initial.Min() + 3, initial.Min() + 5}
+	for i, k := range fresh {
+		before := p.ReadRevision()
+		acc, retrained := p.Insert(k)
+		if !acc {
+			t.Fatalf("fresh key %d rejected", k)
+		}
+		after := p.ReadRevision()
+		if retrained {
+			if !p.IsStale() {
+				t.Fatalf("insert %d: trigger did not open a stale window", i)
+			}
+			if after != before {
+				t.Fatalf("insert %d: triggering insert bumped revision %d -> %d", i, before, after)
+			}
+		} else if after != before+1 {
+			t.Fatalf("insert %d: live accepted insert moved revision %d -> %d, want +1", i, before, after)
+		}
+	}
+	if !p.IsStale() {
+		t.Fatal("fixture did not reach a stale window; bufferK drifted?")
+	}
+
+	// While a rebuild is in flight, accepted inserts and coalesced retrains
+	// mutate only the write plane: no bump.
+	inFlight := p.ReadRevision()
+	if acc, _ := p.Insert(initial.Max() + 100); !acc {
+		t.Fatal("in-flight insert rejected")
+	}
+	p.Retrain() // coalesces behind the in-flight rebuild
+	if got := p.ReadRevision(); got != inFlight {
+		t.Fatalf("in-flight mutations bumped revision: %d -> %d", inFlight, got)
+	}
+
+	// Every publish bumps by one — including chained publishes of coalesced
+	// rebuilds drained by a single large Tick.
+	pubsBefore := p.ChurnStats().Publishes
+	p.Tick(1000)
+	pubs := p.ChurnStats().Publishes - pubsBefore
+	if pubs == 0 {
+		t.Fatal("tick published nothing")
+	}
+	if got, want := p.ReadRevision(), inFlight+uint64(pubs); got != want {
+		t.Fatalf("after %d publishes revision is %d, want %d", pubs, got, want)
+	}
+
+	// A zero-cost explicit Retrain publishes instantly and must bump: the
+	// refit changes probe counts even though the key content is unchanged.
+	p2, _ := pipeFixture(t, 1<<20, index.CostModel{})
+	r := p2.ReadRevision()
+	p2.Retrain()
+	if got := p2.ReadRevision(); got != r+1 {
+		t.Fatalf("zero-cost explicit retrain moved revision %d -> %d, want +1", r, got)
+	}
+}

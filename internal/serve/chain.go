@@ -1,0 +1,146 @@
+package serve
+
+// The MVCC version chain: how the concurrent serving plane publishes
+// immutable index snapshots to lock-free readers.
+//
+// The single writer wraps each `index.Snapshot` in a Version and publishes
+// it through an atomic head pointer. Readers acquire the head with a
+// confirm loop (load head → increment its refcount → re-check the head
+// still points at it), which closes the classic race where a reader grabs
+// a version in the instant the writer supersedes and reclaims it: if the
+// confirm load still sees the version as head, the writer cannot yet have
+// observed it superseded, so the refcount increment is visible to any
+// later reclamation scan (sequentially consistent atomics). If the confirm
+// fails, the reader backs its increment out and retries on the new head.
+//
+// Reclamation is deferred and writer-driven — an epoch-style scheme with
+// the publish sequence as the epoch counter. The writer keeps every
+// published version in a retained window and, at each publish (or an
+// explicit Reclaim), drops the oldest superseded versions whose refcounts
+// have drained to zero. Go's garbage collector does the actual freeing;
+// "release" here means dropping the strong reference and marking the
+// version dead, so the reclamation tests can assert the two invariants
+// that matter: a version is never marked released while a reader holds it,
+// and the retained window stays bounded — quiescent readers always leave
+// the chain at length 1 (DESIGN.md §8).
+//
+// Everything except Acquire/Release is writer-only, matching the
+// single-writer contract of the index planes underneath.
+
+import (
+	"sync/atomic"
+
+	"cdfpoison/internal/index"
+)
+
+// Version is one published read-plane state: an immutable snapshot plus
+// the reference count readers hold while serving lookups from it.
+type Version struct {
+	snap index.Snapshot
+	seq  uint64
+	refs atomic.Int64
+	// released flips when the writer reclaims the version — only ever after
+	// its refcount has drained AND a newer version has been published. The
+	// stress tests assert no reader ever observes it set on a held version.
+	released atomic.Bool
+}
+
+// Snapshot returns the frozen index state this version serves.
+func (v *Version) Snapshot() index.Snapshot { return v.snap }
+
+// Seq returns the publish sequence number (1 for the first publish).
+func (v *Version) Seq() uint64 { return v.seq }
+
+// Released reports whether the writer has reclaimed this version.
+func (v *Version) Released() bool { return v.released.Load() }
+
+// Release drops one reader reference acquired via Acquire (or the writer's
+// AcquireCurrent). Safe from any goroutine.
+func (v *Version) Release() {
+	if v.refs.Add(-1) < 0 {
+		panic("serve: version over-released")
+	}
+}
+
+// Chain is the version chain: an atomic head readers acquire from, plus
+// the writer-owned retained window that defers release until readers have
+// drained.
+type Chain struct {
+	head atomic.Pointer[Version]
+	// retained is writer-only: every version not yet reclaimed, oldest
+	// first; the last element is always the current head.
+	retained []*Version
+	seq      uint64
+	released uint64
+}
+
+// NewChain returns an empty chain (no version published yet).
+func NewChain() *Chain { return &Chain{} }
+
+// Publish wraps snap in a new version, makes it the head, and reclaims any
+// drained predecessors. Writer-only.
+func (c *Chain) Publish(snap index.Snapshot) *Version {
+	c.seq++
+	v := &Version{snap: snap, seq: c.seq}
+	c.head.Store(v)
+	c.retained = append(c.retained, v)
+	c.Reclaim()
+	return v
+}
+
+// Acquire returns the current head with a reference held, or nil when
+// nothing has been published. Lock-free; safe from any goroutine
+// concurrently with Publish/Reclaim.
+func (c *Chain) Acquire() *Version {
+	for {
+		v := c.head.Load()
+		if v == nil {
+			return nil
+		}
+		v.refs.Add(1)
+		if c.head.Load() == v {
+			return v
+		}
+		// The writer superseded v between our load and confirm: the
+		// reclamation scan may have missed our reference, so back out and
+		// take the new head.
+		v.refs.Add(-1)
+	}
+}
+
+// AcquireCurrent is the writer's fast path: the writer is the only
+// publisher, so the head cannot change underneath it and no confirm loop
+// is needed.
+func (c *Chain) AcquireCurrent() *Version {
+	v := c.head.Load()
+	if v != nil {
+		v.refs.Add(1)
+	}
+	return v
+}
+
+// Reclaim drops superseded versions from the front of the retained window
+// whose reader references have drained. Writer-only. The head itself is
+// never reclaimed.
+func (c *Chain) Reclaim() {
+	i := 0
+	for ; i < len(c.retained)-1; i++ {
+		v := c.retained[i]
+		if v.refs.Load() != 0 {
+			break // an older version is still held; keep the prefix ordered
+		}
+		v.released.Store(true)
+		c.released++
+	}
+	if i > 0 {
+		c.retained = append(c.retained[:0], c.retained[i:]...)
+	}
+}
+
+// Len returns the retained window length (writer-only): the published
+// versions not yet reclaimed. Quiescent readers leave it at 1.
+func (c *Chain) Len() int { return len(c.retained) }
+
+// Released returns how many versions have been reclaimed so far
+// (writer-only). Released + Len == total publishes, always.
+func (c *Chain) Released() uint64 { return c.released }

@@ -1,0 +1,203 @@
+package serve
+
+// Version-chain tests: publish/acquire/release semantics, the deferred
+// (epoch-style) reclamation invariants — never release a held version,
+// bounded retained window — and the 64-goroutine acquire/release stress
+// run that the CI race step hammers with -count=3. All synchronization is
+// logical (channels, WaitGroups, atomics): no sleeping, no polling clocks.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/xrand"
+)
+
+// fakeSnap is a minimal index.Snapshot for chain plumbing tests.
+type fakeSnap struct{ id int64 }
+
+func (f fakeSnap) Lookup(k int64) index.LookupResult {
+	return index.LookupResult{Found: true, Probes: int(f.id%7) + 1}
+}
+func (f fakeSnap) ProbeSum(qs []int64) (int64, int) { return index.ProbeSum(f, qs) }
+func (f fakeSnap) Len() int                         { return 1 }
+func (f fakeSnap) Keys() keys.Set                   { return keys.FromSorted([]int64{f.id}) }
+
+func TestChainPublishAcquireRelease(t *testing.T) {
+	c := NewChain()
+	if c.Acquire() != nil {
+		t.Fatal("empty chain handed out a version")
+	}
+	if c.Len() != 0 || c.Released() != 0 {
+		t.Fatal("empty chain has non-zero accounting")
+	}
+
+	v1 := c.Publish(fakeSnap{id: 1})
+	if v1.Seq() != 1 {
+		t.Fatalf("first publish seq = %d, want 1", v1.Seq())
+	}
+	got := c.Acquire()
+	if got != v1 {
+		t.Fatal("Acquire did not return the head")
+	}
+	if got.Snapshot().(fakeSnap).id != 1 {
+		t.Fatal("version serves the wrong snapshot")
+	}
+
+	// A held predecessor must survive any number of publishes.
+	for i := int64(2); i <= 5; i++ {
+		c.Publish(fakeSnap{id: i})
+	}
+	if v1.Released() {
+		t.Fatal("held version was released")
+	}
+	if c.Len() != 5 {
+		t.Fatalf("retained window = %d, want 5 (head + 4 blocked by the held v1)", c.Len())
+	}
+
+	// Releasing the hold lets the next reclamation drain everything but
+	// the head.
+	got.Release()
+	c.Reclaim()
+	if c.Len() != 1 {
+		t.Fatalf("retained window = %d after release+reclaim, want 1", c.Len())
+	}
+	if got := c.Released(); got != 4 {
+		t.Fatalf("released count = %d, want 4", got)
+	}
+	if !v1.Released() {
+		t.Fatal("drained superseded version not marked released")
+	}
+	if c.Acquire().Released() {
+		t.Fatal("head must never be released")
+	}
+}
+
+// TestChainReclamationBounded: with no holds, the retained window stays at
+// 1 across N publishes — no version-chain leak — and the accounting always
+// balances (Released + Len == publishes).
+func TestChainReclamationBounded(t *testing.T) {
+	c := NewChain()
+	const n = 1000
+	for i := int64(1); i <= n; i++ {
+		v := c.Publish(fakeSnap{id: i})
+		// Simulate the writer's own transient use: acquire + release.
+		w := c.AcquireCurrent()
+		if w != v {
+			t.Fatal("AcquireCurrent did not return the head")
+		}
+		w.Release()
+		if c.Len() != 1 {
+			t.Fatalf("publish %d: retained window %d, want 1", i, c.Len())
+		}
+		if c.Released()+uint64(c.Len()) != uint64(i) {
+			t.Fatalf("publish %d: accounting drifted: released %d + len %d != %d",
+				i, c.Released(), c.Len(), i)
+		}
+	}
+}
+
+// TestChainOverReleasePanics: releasing a version more often than acquired
+// is a bug the chain refuses to absorb silently.
+func TestChainOverReleasePanics(t *testing.T) {
+	c := NewChain()
+	v := c.Publish(fakeSnap{id: 1})
+	v.refs.Add(1)
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	v.Release()
+}
+
+// TestChainStressAcquireRelease is the race-detector stress run: 64
+// goroutines hammer Acquire/Lookup/Release while the single writer mutates
+// a real dynamic backend, retrains it, and publishes fresh snapshots —
+// exercising at once the confirm-loop against reclamation, the COW
+// snapshot immutability under concurrent retrains, and the no-release-
+// while-held invariant. CI runs this under -race with -count=3.
+func TestChainStressAcquireRelease(t *testing.T) {
+	const (
+		readers   = 64
+		publishes = 300
+		// iters bounds each reader's work so the test stays fast on any
+		// core count (on GOMAXPROCS=1 an unbounded spin loop would starve
+		// the writer); the stop flag still ends readers early once the
+		// writer has published everything.
+		iters = 400
+	)
+	initial, err := dataset.Uniform(xrand.New(21), 500, 25_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dynamic.New(initial, dynamic.BufferLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewChain()
+	c.Publish(b.Snapshot())
+	var (
+		stop  atomic.Bool
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters && !stop.Load(); i++ {
+				v := c.Acquire()
+				if v == nil {
+					t.Error("reader saw a nil head after first publish")
+					return
+				}
+				if v.Released() {
+					t.Errorf("reader %d acquired a released version (seq %d)", r, v.Seq())
+					return
+				}
+				// Every version must still answer for the initial keys,
+				// whatever the writer has done to the live backend since.
+				k := initial.At((r + i) % initial.Len())
+				if res := v.Snapshot().Lookup(k); !res.Found {
+					t.Errorf("reader %d: initial key %d missing from seq %d", r, k, v.Seq())
+					return
+				}
+				v.Release()
+				if i%4 == 0 {
+					runtime.Gosched() // interleave with the writer, no sleeping
+				}
+			}
+		}(r)
+	}
+
+	close(start)
+	rng := xrand.New(7)
+	for i := 0; i < publishes; i++ {
+		b.Insert(rng.Int63n(25_000))
+		if i%17 == 0 {
+			b.Retrain()
+		}
+		c.Publish(b.Snapshot())
+		runtime.Gosched() // widen the interleaving space, no sleeping
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	c.Reclaim()
+	if c.Len() != 1 {
+		t.Fatalf("retained window = %d after quiescence, want 1", c.Len())
+	}
+	if got, want := c.Released()+uint64(c.Len()), uint64(publishes+1); got != want {
+		t.Fatalf("accounting drifted: released+retained = %d, want %d publishes", got, want)
+	}
+}

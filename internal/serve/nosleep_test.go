@@ -1,0 +1,41 @@
+package serve
+
+// The flake-audit lint: nothing in this package — test or production —
+// may synchronize by sleeping. Concurrency here is coordinated with
+// channels, WaitGroups and atomics only; a wall-clock sleep in a test is
+// a latent flake and in production code a latent stall. The needle is
+// assembled from pieces so this file does not reject itself.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoSleepInServePackage(t *testing.T) {
+	needle := "time." + "Sleep"
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		src, err := os.ReadFile(e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, needle) {
+				t.Errorf("%s:%d: %s found — use channels/WaitGroups, not wall-clock sleeps", e.Name(), i+1, needle)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("lint walked only %d Go files; directory layout changed?", checked)
+	}
+}

@@ -202,9 +202,20 @@ func (g *Generator) Next() Op {
 
 // Ops draws the next n operations.
 func (g *Generator) Ops(n int) []Op {
-	out := make([]Op, n)
-	for i := range out {
-		out[i] = g.Next()
+	return g.OpsInto(nil, n)
+}
+
+// OpsInto draws the next n operations into dst, reusing its backing array
+// when it is large enough — the allocation-free path the epoch loop of the
+// concurrent serving scenario uses to re-draw each epoch's stream into one
+// buffer. The stream is identical to n calls of Next.
+func (g *Generator) OpsInto(dst []Op, n int) []Op {
+	if cap(dst) < n {
+		dst = make([]Op, n)
 	}
-	return out
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return dst
 }

@@ -76,6 +76,41 @@ func TestStreamDeterminism(t *testing.T) {
 	}
 }
 
+// TestOpsInto: the buffer-reusing draw produces the identical stream to
+// Ops, reuses a large-enough destination in place, and grows a short one.
+func TestOpsInto(t *testing.T) {
+	ks := fixture(t, 200)
+	a, err := NewGenerator(NewZipf(1.1, 80), ks, 10_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewGenerator(NewZipf(1.1, 80), ks, 10_000, 7)
+
+	want := a.Ops(300)
+	buf := make([]Op, 0, 300)
+	got := b.OpsInto(buf, 300)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("OpsInto stream diverged from Ops")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("OpsInto reallocated despite sufficient capacity")
+	}
+	// Second epoch into the same buffer: stream continues, buffer reused.
+	want = a.Ops(300)
+	got2 := b.OpsInto(got, 300)
+	if !reflect.DeepEqual(want, got2) {
+		t.Fatal("second OpsInto epoch diverged from Ops")
+	}
+	if &got2[0] != &got[0] {
+		t.Fatal("second OpsInto epoch reallocated")
+	}
+	// Undersized destination grows.
+	short := b.OpsInto(make([]Op, 2), 10)
+	if len(short) != 10 {
+		t.Fatalf("undersized dst drew %d ops, want 10", len(short))
+	}
+}
+
 // TestReadWriteMix: the read fraction tracks ReadPct, reads always target
 // stored keys, and writes stay inside the domain.
 func TestReadWriteMix(t *testing.T) {
