@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"cdfpoison/internal/alex"
 	"cdfpoison/internal/blackbox"
 	"cdfpoison/internal/btree"
 	"cdfpoison/internal/core"
@@ -442,6 +443,49 @@ type ChurnEpochReport = core.ChurnEpochReport
 // changing any result byte.
 func ChurnAttack(initial KeySet, opts ChurnOptions, execOpts ...AttackOption) (ChurnResult, error) {
 	return core.ChurnAttack(initial, opts, execOpts...)
+}
+
+// AlexIndex is the ALEX-style two-level gapped-array learned index
+// (DESIGN.md §9): model-based inserts into slot gaps, exponential-search
+// fallback, leaf splits at the density threshold, and a full rebuild
+// cascade when splitting overflows the root's fanout limit. It implements
+// IndexBackend, COW snapshots, and parallel retraining.
+type AlexIndex = alex.Index
+
+// AlexStructStats is an AlexIndex's cumulative structural-maintenance
+// accounting: slot writes from insert shifts, leaf splits, and fanout
+// cascades. Cost() folds them into total slot writes — the currency the
+// cascade attacker maximizes.
+type AlexStructStats = alex.StructStats
+
+// NewAlexIndex builds a gapped-array index over the initial keys at ~50%
+// leaf occupancy. leafTarget is the bulk-load keys-per-leaf (0 selects the
+// default); smaller leaves mean a tighter fanout limit.
+func NewAlexIndex(ks KeySet, leafTarget int) (*AlexIndex, error) {
+	return alex.New(ks, leafTarget)
+}
+
+// CascadeOptions parameterizes CascadeAttack.
+type CascadeOptions = core.CascadeOptions
+
+// CascadeResult reports the split-cascade scenario, one CascadeEpochReport
+// per epoch plus both indexes' final structural accounting.
+type CascadeResult = core.CascadeResult
+
+// CascadeEpochReport is one cascade epoch's end state: cumulative shift
+// writes, splits, and cascades for victim and clean counterfactual, the
+// structural-cost and probe ratios, and the epoch's damage score.
+type CascadeEpochReport = core.CascadeEpochReport
+
+// CascadeAttack mounts the split-cascade scenario: an adversary drip-feeds
+// its per-epoch budget into the DENSEST leaf of a gapped-array index —
+// where every insert shifts the longest occupied runs and the split
+// threshold is nearest — forcing cascading splits and fanout-overflow
+// rebuilds, against a clean counterfactual running the identical operation
+// stream. WithParallelism fans out the insert-cost oracle without changing
+// any result byte.
+func CascadeAttack(initial KeySet, opts CascadeOptions, execOpts ...AttackOption) (CascadeResult, error) {
+	return core.CascadeAttack(initial, opts, execOpts...)
 }
 
 // ServingPlaneOptions are the concurrent serving plane's knobs: reader

@@ -158,6 +158,32 @@ func ExampleChurnAttack() {
 	// max stale fraction 0.70, max publish latency 75 ticks (cost 60)
 }
 
+func ExampleCascadeAttack() {
+	rng := cdfpoison.NewRNG(42)
+	ks, err := cdfpoison.UniformKeys(rng, 1000, 40_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cdfpoison.CascadeAttack(ks, cdfpoison.CascadeOptions{
+		Epochs:      4,
+		OpsPerEpoch: 200,
+		EpochBudget: 40,
+		LeafTarget:  16,
+		Workload:    cdfpoison.ZipfWorkload(1.1, 85),
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epochs %d, poison keys %d, splits %d vs clean %d\n",
+		len(res.Epochs), res.Poison.Len(), res.VictimStruct.Splits, res.CleanStruct.Splits)
+	fmt.Printf("structural cost %d vs clean %d (ratio %.2f)\n",
+		res.VictimStruct.Cost(), res.CleanStruct.Cost(), res.FinalStructRatio())
+	// Output:
+	// epochs 4, poison keys 160, splits 23 vs clean 8
+	// structural cost 1436 vs clean 407 (ratio 3.53)
+}
+
 // Parallelism is a pure performance knob: any worker count produces output
 // byte-identical to the sequential run (the determinism contract).
 func ExampleWithParallelism() {

@@ -10,9 +10,10 @@
 //	lisbench -fig 6 -scale large -out results/
 //	lisbench -fig online -out results/   # online scenario: ratio/probes vs epoch
 //	lisbench -fig churn -out results/    # retrain-churn scenario: staleness vs epoch
+//	lisbench -fig cascade -out results/  # split-cascade scenario: structural damage vs epoch
 //	lisbench -fig throughput -out results/  # concurrent serving: tail latency + ops/sec
-//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR6.json
-//	lisbench -fig perf -scale quick -baseline BENCH_PR6.json   # CI regression gate
+//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR7.json
+//	lisbench -fig perf -scale quick -baseline BENCH_PR7.json   # CI regression gate
 //
 // The perf sweep is machine-dependent by nature, so it is NOT part of -fig
 // all; with -baseline the command exits non-zero when any matched cell
@@ -45,13 +46,13 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|throughput|perf|all (all excludes perf)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|cascade|throughput|perf|all (all excludes perf)")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 	)
-	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR6.json) to compare the perf sweep against; exit 1 on regression")
+	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR7.json) to compare the perf sweep against; exit 1 on regression")
 	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		"online":     runOnline,
 		"serve":      runServe,
 		"churn":      runChurn,
+		"cascade":    runCascade,
 		"throughput": runThroughput,
 		"perf":       runPerf,
 	}
@@ -87,7 +89,7 @@ func main() {
 	// figures-regeneration run (they are requested explicitly). throughput IS
 	// included: its CSV columns are deterministic (ops/sec goes to stdout
 	// only), so it regenerates like any figure.
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn", "throughput"}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn", "cascade", "throughput"}
 
 	var selected []string
 	if *fig == "all" {
@@ -122,6 +124,8 @@ func name(f string) string {
 		return "serving scenario"
 	case "churn":
 		return "retrain-churn scenario"
+	case "cascade":
+		return "split-cascade scenario"
 	case "throughput":
 		return "throughput scenario"
 	case "perf":
@@ -576,7 +580,7 @@ func runServe(opts bench.Options, out string) error {
 
 // perfArtifact is the perf report's file name: the repository root holds
 // the checked-in baseline of the same name that CI gates against.
-const perfArtifact = "BENCH_PR6.json"
+const perfArtifact = "BENCH_PR7.json"
 
 // runChurn renders the retrain-churn sweep: the per-epoch staleness,
 // publish-latency, and loss trajectory of core.ChurnAttack across
@@ -626,6 +630,62 @@ func runChurn(opts bench.Options, out string) error {
 	fmt.Printf("max stale-read fraction: %.2f, max publish latency: %d ticks\n",
 		res.MaxStaleFrac(), res.MaxLatency())
 	return writeCSV(out, "churn.csv", tb)
+}
+
+// runCascade renders the split-cascade sweep: the per-epoch structural
+// damage trajectory of core.CascadeAttack on the gapped-array backend
+// across leaf targets and budgets. Every column is deterministic, so the
+// CSV is fingerprintable.
+func runCascade(opts bench.Options, out string) error {
+	fmt.Println("=== Split-cascade scenario: structural poisoning of the gapped-array index ===")
+	res, err := bench.CascadeSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n = %d initial keys, %s mix, %d epochs per cell, %d ops/epoch\n",
+		res.Keys, res.Workload, res.EpochsPerCell, res.OpsPerEpoch)
+	tb := export.NewTable("leaf_target", "budget_pct", "epoch", "target_node",
+		"target_density", "reads", "writes", "injected", "poison_total",
+		"shift_writes", "clean_shift_writes", "splits", "clean_splits",
+		"cascades", "clean_cascades", "nodes", "clean_nodes",
+		"struct_cost", "clean_struct_cost", "struct_ratio", "damage_score",
+		"clean_probes", "poisoned_probes", "probe_ratio",
+		"clean_loss", "poisoned_loss", "loss_ratio")
+	for _, c := range res.Cells {
+		for _, e := range c.Epochs {
+			tb.AddRow(fmt.Sprint(c.LeafTarget), export.F(c.BudgetPct), fmt.Sprint(e.Epoch),
+				fmt.Sprint(e.TargetNode), export.F(e.TargetDensity),
+				fmt.Sprint(e.Reads), fmt.Sprint(e.Writes),
+				fmt.Sprint(e.Injected), fmt.Sprint(e.PoisonTotal),
+				fmt.Sprint(e.ShiftWrites), fmt.Sprint(e.CleanShiftWrites),
+				fmt.Sprint(e.Splits), fmt.Sprint(e.CleanSplits),
+				fmt.Sprint(e.Cascades), fmt.Sprint(e.CleanCascades),
+				fmt.Sprint(e.Nodes), fmt.Sprint(e.CleanNodes),
+				fmt.Sprint(e.StructCost), fmt.Sprint(e.CleanStructCost),
+				export.F(e.StructRatio), export.F(e.DamageScore),
+				export.F(e.CleanProbes), export.F(e.PoisonedProbes), export.F(e.ProbeRatio),
+				export.F(e.CleanLoss), export.F(e.PoisonedLoss), export.F(e.RatioLoss))
+		}
+	}
+	tb.Render(os.Stdout)
+	// Struct-ratio-vs-epoch chart for the highest-budget cell of each leaf
+	// target.
+	var series []export.Series
+	for _, c := range res.Cells {
+		if c.BudgetPct != res.Cells[len(res.Cells)-1].BudgetPct {
+			continue
+		}
+		var xs, ys []float64
+		for _, e := range c.Epochs {
+			xs = append(xs, float64(e.Epoch))
+			ys = append(ys, e.StructRatio)
+		}
+		series = append(series, export.Series{Name: fmt.Sprintf("leaf=%d", c.LeafTarget), X: xs, Y: ys})
+	}
+	export.RenderChart(os.Stdout, "Victim/clean structural-cost ratio vs epoch (highest budget)", series, 64, 12)
+	fmt.Printf("max struct ratio: %.1f×, attacker-forced cascades: %d\n",
+		res.MaxStructRatio(), res.TotalCascades())
+	return writeCSV(out, "cascade.csv", tb)
 }
 
 // runThroughput renders the concurrent-serving throughput sweep: per-epoch

@@ -10,6 +10,7 @@
 //	lispoison online -in keys.txt -epochs 8 -percent 2 -policy buffer:256 -o p.txt
 //	lispoison serve  -in keys.txt -epochs 6 -percent 2 -shards 4 -workload zipf:1.1:90
 //	lispoison churn  -in keys.txt -epochs 6 -percent 2 -shards 4 -policy buffer:64 -cost linear:10:25:100
+//	lispoison cascade -in keys.txt -epochs 6 -percent 2 -leaf 32 -workload zipf:1.1:85
 //	lispoison throughput -in keys.txt -epochs 5 -percent 2 -readers 4 -cost fixed:40
 //	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
 //	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
@@ -32,6 +33,13 @@
 // drip-feeds keys into the one shard where each key buys the most rebuild
 // work, and the per-epoch table reports stale-read fractions, publish
 // latency in ticks, and the loss ratio against the clean counterfactual.
+//
+// The cascade subcommand mounts the split-cascade scenario against the
+// gapped-array (ALEX-style) index: the attacker drip-feeds keys into the
+// densest leaf, where inserts shift the longest occupied runs and force
+// splits — and, past the fanout limit, full rebuild cascades. The per-epoch
+// table reports the structural cost (slot writes) of victim vs clean, the
+// cost ratio, and the damage score.
 //
 // The throughput subcommand runs the goroutine-concurrent serving plane
 // (-readers reader goroutines off immutable snapshots, one writer, true
@@ -69,6 +77,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "churn":
 		err = cmdChurn(os.Args[2:])
+	case "cascade":
+		err = cmdCascade(os.Args[2:])
 	case "throughput":
 		err = cmdThroughput(os.Args[2:])
 	case "eval":
@@ -88,13 +98,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|throughput|eval|defend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|cascade|throughput|eval|defend> [flags]
 
   gen        generate a key dataset (uniform|normal|lognormal|salaries|osm)
   attack     poison a key file (linear regression on CDF, or two-stage RMI)
   online     drip-feed poison into an updatable index across retrain cycles
   serve      poison a sharded serving index under an honest read/write load
   churn      maximize retrain churn and stale windows on the rebuild pipeline
+  cascade    force splits and rebuild cascades on the gapped-array index
   throughput poison the concurrent serving plane; report tail-latency SLOs
   eval       measure ratio loss of a poisoned file against the clean file
   defend     run the TRIM defense on a poisoned file
@@ -475,6 +486,68 @@ func cmdChurn(args []string) error {
 	if *out != "" {
 		if err := writeKeys(*out, res.Poison); err != nil {
 			return fmt.Errorf("churn: %w", err)
+		}
+		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
+	}
+	return nil
+}
+
+func cmdCascade(args []string) error {
+	fs := flag.NewFlagSet("cascade", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	epochs := fs.Int("epochs", 6, "number of serving epochs")
+	percent := fs.Float64("percent", 2, "per-EPOCH poisoning percentage of the input keys")
+	leaf := fs.Int("leaf", 0, "bulk-load leaf size of the gapped-array index (0 = default)")
+	workloadStr := fs.String("workload", "zipf:1.1:85", "honest mix: uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]")
+	ops := fs.Int("ops", 0, "honest operations per epoch (default 10% of the input keys)")
+	seed := fs.Uint64("seed", 42, "rng seed for the operation stream")
+	workers := fs.Int("workers", 0, "worker pool size: 0 = one per core, 1 = sequential; results are identical for any value")
+	out := fs.String("o", "", "optional output file for the injected poison keys")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("cascade: -in is required")
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	mix, err := cdfpoison.ParseWorkload(*workloadStr)
+	if err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	opsPerEpoch := *ops
+	if opsPerEpoch == 0 {
+		opsPerEpoch = ks.Len() / 10
+	}
+	res, err := cdfpoison.CascadeAttack(ks, cdfpoison.CascadeOptions{
+		Epochs:      *epochs,
+		OpsPerEpoch: opsPerEpoch,
+		EpochBudget: int(float64(ks.Len()) * *percent / 100),
+		LeafTarget:  *leaf,
+		Workload:    mix,
+		Seed:        *seed,
+	}, cdfpoison.WithParallelism(*workers))
+	if err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	fmt.Printf("cascade attack: leaf=%d, workload=%s, %d ops/epoch over %d epochs\n",
+		*leaf, mix, opsPerEpoch, *epochs)
+	fmt.Printf("%5s %6s %9s %9s %11s %7s %9s %6s %11s %12s %9s %12s %11s\n",
+		"epoch", "node", "density", "injected", "shift_wr", "splits", "cascades",
+		"nodes", "struct_cost", "clean_cost", "ratio", "damage", "probe_ratio")
+	for _, e := range res.Epochs {
+		fmt.Printf("%5d %6d %9.2f %9d %11d %7d %9d %6d %11d %12d %9.2f %12.0f %11.2f\n",
+			e.Epoch, e.TargetNode, e.TargetDensity, e.Injected, e.ShiftWrites,
+			e.Splits, e.Cascades, e.Nodes, e.StructCost, e.CleanStructCost,
+			e.StructRatio, e.DamageScore, e.ProbeRatio)
+	}
+	fmt.Printf("final struct ratio %.2f× (victim cost %d vs clean %d), %d splits (+%d cascades) vs clean %d (+%d), %d poison keys\n",
+		res.FinalStructRatio(), res.VictimStruct.Cost(), res.CleanStruct.Cost(),
+		res.VictimStruct.Splits, res.VictimStruct.Cascades,
+		res.CleanStruct.Splits, res.CleanStruct.Cascades, res.Poison.Len())
+	if *out != "" {
+		if err := writeKeys(*out, res.Poison); err != nil {
+			return fmt.Errorf("cascade: %w", err)
 		}
 		fmt.Printf("wrote %d poison keys to %s\n", res.Poison.Len(), *out)
 	}

@@ -95,6 +95,10 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			// histograms), index.Pipeline.ReadRevision, and api.go cite §8.
 			"§8 Concurrent serving plane",
 			"Scheduler equivalence",
+			// internal/alex (gapped array, struct accounting), the cascade
+			// scenario (internal/core/cascade.go), and api.go cite §9.
+			"§9 Gapped-array backend",
+			"cascade attack",
 		},
 		// doc.go promises the paper-vs-measured record; api.go cites Ext. F;
 		// bench/perf.go and the CI gate cite the perf trajectory.
@@ -109,9 +113,8 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"churn.csv",
 			"| F |",
 			"-seed 42",
-			// BENCH_PR6.json is the live baseline the CI gate and
-			// internal/bench/perf.go cite; BENCH_PR3.json and BENCH_PR5.json
-			// stay recorded as previous trajectory points.
+			// BENCH_PR3.json, BENCH_PR5.json, and BENCH_PR6.json stay
+			// recorded as previous trajectory points.
 			"BENCH_PR3.json",
 			"BENCH_PR5.json",
 			"BENCH_PR6.json",
@@ -120,6 +123,13 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"Throughput scenario",
 			"-fig throughput",
 			"throughput.csv",
+			// The split-cascade scenario (internal/bench/cascade.go,
+			// cmd/lisbench) cites its CSV fingerprint section; BENCH_PR7.json
+			// is the live baseline the CI perf gate compares against.
+			"Split-cascade scenario",
+			"-fig cascade",
+			"cascade.csv",
+			"BENCH_PR7.json",
 		},
 		// doc.go points readers at the catalog and sweep instructions.
 		"README.md": {
@@ -132,6 +142,10 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"NewRetrainPipeline",
 			"ServeScenarioConcurrent",
 			"figure sweeps",
+			// The gapped-array backend and its structural attack (api.go,
+			// examples/alex_cascade) point readers at the catalog entry.
+			"CascadeAttack",
+			"NewAlexIndex",
 		},
 	} {
 		data, err := os.ReadFile(file)

@@ -1,0 +1,76 @@
+// Split cascade: attacking the index's structure instead of its model.
+//
+// An ALEX-style gapped-array index absorbs inserts into slot gaps at the
+// position its per-leaf model predicts; when a leaf runs out of local
+// slack, the insert shifts an occupied run, and when occupancy crosses the
+// split threshold the leaf splits — past the root's fanout limit, the
+// whole index rebuilds. The adversary here does not chase model loss: it
+// drip-feeds keys into the DENSEST leaf, where every insert pays the
+// longest shifts and pushes occupancy toward the threshold, so splits
+// chain into full rebuild cascades. The clean counterfactual absorbs the
+// identical honest stream, so every shift write, split, and cascade beyond
+// its baseline is attacker-caused.
+//
+//	go run ./examples/alex_cascade
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdfpoison"
+)
+
+func main() {
+	rng := cdfpoison.NewRNG(7)
+	const n = 1_000
+	ks, err := cdfpoison.UniformKeys(rng, n, n*40)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The index, standalone: gapped inserts, splits, accounting -------
+	idx, err := cdfpoison.NewAlexIndex(ks, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapshotBefore := idx.Snapshot() // immutable: survives everything below
+	// Hammer one key range: each insert lands in the same leaf, shifts
+	// grow, and the leaf splits once its occupancy crosses the threshold.
+	base := ks.Min() + 1
+	accepted := 0
+	for k := base; accepted < 40; k++ {
+		if ok, _ := idx.Insert(k); ok {
+			accepted++
+		}
+	}
+	st := idx.Struct()
+	fmt.Printf("after %d clustered inserts: %d slot writes from shifts, %d splits, %d nodes\n",
+		accepted, st.ShiftWrites, st.Splits, st.Nodes)
+	fmt.Printf("held snapshot unchanged: len %d vs live %d\n",
+		snapshotBefore.Len(), idx.Len())
+
+	// --- The scenario: cascade attack vs clean counterfactual ------------
+	res, err := cdfpoison.CascadeAttack(ks, cdfpoison.CascadeOptions{
+		Epochs:      5,
+		OpsPerEpoch: 200,
+		EpochBudget: 40,
+		LeafTarget:  16,
+		Workload:    cdfpoison.ZipfWorkload(1.1, 85),
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nepoch  node  density  injected  shift_wr  splits  cascades  struct_ratio")
+	for _, e := range res.Epochs {
+		fmt.Printf("%5d %5d %8.2f %9d %9d %7d %9d %13.2f\n",
+			e.Epoch, e.TargetNode, e.TargetDensity, e.Injected,
+			e.ShiftWrites, e.Splits, e.Cascades, e.StructRatio)
+	}
+	fmt.Printf("\nvictim structural cost %d vs clean %d — the attacker-caused maintenance\n",
+		res.VictimStruct.Cost(), res.CleanStruct.Cost())
+	fmt.Printf("final struct ratio %.2f×, %d splits (+%d cascades) vs clean %d (+%d)\n",
+		res.FinalStructRatio(), res.VictimStruct.Splits, res.VictimStruct.Cascades,
+		res.CleanStruct.Splits, res.CleanStruct.Cascades)
+}

@@ -1,0 +1,392 @@
+// Package alex is the ALEX-family gapped-array learned index: the dynamic
+// substrate whose *structure* — not just its model — adapts to the data,
+// and therefore the richest poisoning surface in the repository ("Poisoning
+// Learned Index Structures: Static and Dynamic Adversarial Attacks on
+// ALEX", PAPERS.md; design notes in DESIGN.md §9).
+//
+// Layout. Two levels. A root routes keys through a linear model over the
+// leaves' lower boundaries; each leaf is a GAPPED ARRAY: a slot array kept
+// deliberately under-full so that model-based inserts usually land in an
+// empty slot next to where the leaf's linear model predicts the key
+// belongs. Search goes model prediction → exponential search → binary
+// search, with every slot comparison counted as a probe. Empty slots hold a
+// copy of their nearest occupied left neighbour (leading gaps copy the
+// first key), so the slot array is globally non-decreasing and membership
+// is a single lower-bound search: an absent key can never collide with a
+// gap's copy.
+//
+// Structural maintenance — the attack surface:
+//
+//   - A model-based insert whose predicted region has no free slot SHIFTS
+//     the occupied run toward the nearest gap, paying one slot write per
+//     element moved. Dense clusters push gaps far away, so shifts grow.
+//   - A leaf whose occupancy crosses the split-density threshold SPLITS
+//     into two half-full leaves (fresh models, fresh gaps).
+//   - When splitting drives the root's fanout past its limit, the whole
+//     index REBUILDS (the split cascade): every key is repartitioned into
+//     fresh leaves — the O(n) event core.CascadeAttack farms.
+//
+// Everything is deterministic: no RNG, no clocks, no map iteration;
+// identical call sequences produce identical structures, bit for bit, so
+// the scenario equivalence tests hold for this backend too.
+package alex
+
+import (
+	"math"
+)
+
+const (
+	// DefaultLeafTarget is the bulk-load/rebuild leaf size (keys per leaf).
+	DefaultLeafTarget = 64
+	// minSlots is the smallest leaf slot-array capacity.
+	minSlots = 8
+	// minFanout is the smallest root fanout limit.
+	minFanout = 4
+)
+
+// line is a linear model y ≈ w*x + b.
+type line struct{ w, b float64 }
+
+func (l line) at(k int64) float64 { return l.w*float64(k) + l.b }
+
+// clampSlot converts a (possibly wildly overshooting) float prediction into
+// a valid slot index in [0, n). The clamp happens in FLOAT space, before
+// the integer conversion: a skewed model fed an absent far-out key (1<<40
+// in the conformance queries) predicts positions far outside the array, and
+// converting those to int first is exactly the out-of-range bug class fixed
+// twice before in shard and rmi — TestSearchPredictionOvershoot pins it
+// here at the backend's birth.
+func clampSlot(f float64, n int) int {
+	if math.IsNaN(f) || f < 0 {
+		return 0
+	}
+	if f > float64(n-1) {
+		return n - 1
+	}
+	return int(math.Round(f))
+}
+
+// fitLine least-squares fits y=i (the rank) on x=xs[i]. Centered sums keep
+// the arithmetic stable for far-apart keys; a degenerate spread falls back
+// to the flat model. Pure float64 on one goroutine — bit-identical under
+// any worker count because a fit is never split across tasks.
+func fitLine(xs []int64) line {
+	n := len(xs)
+	if n < 2 {
+		return line{}
+	}
+	var mx, my float64
+	for i, x := range xs {
+		mx += float64(x)
+		my += float64(i)
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxx, sxy float64
+	for i, x := range xs {
+		dx := float64(x) - mx
+		sxx += dx * dx
+		sxy += dx * (float64(i) - my)
+	}
+	if sxx <= 0 {
+		return line{b: my}
+	}
+	w := sxy / sxx
+	return line{w: w, b: my - w*mx}
+}
+
+// node is one gapped-array leaf. slots is globally non-decreasing: occupied
+// positions hold their key, free positions hold a copy of the nearest
+// occupied key to the left (leading gaps copy the first key). occ is the
+// occupancy bitmap, used the occupied count. model predicts the slot of a
+// key; sseFit/fitN record its in-sample squared error at fit time. shared
+// marks a node aliased by a snapshot: mutators must clone it first (the
+// copy-on-write node page of DESIGN.md §9).
+type node struct {
+	slots  []int64
+	occ    []bool
+	used   int
+	model  line
+	sseFit float64
+	fitN   int
+	shared bool
+}
+
+// buildNode bulk-loads one leaf from its sorted keys: fit the rank model,
+// stretch it over a slot array at ~50% density, place every key at its
+// (monotonically corrected) predicted slot, then fill the gaps with their
+// left-neighbour copies.
+func buildNode(ks []int64) *node {
+	used := len(ks)
+	capSlots := 2 * used
+	if capSlots < minSlots {
+		capSlots = minSlots
+	}
+	nd := &node{slots: make([]int64, capSlots), occ: make([]bool, capSlots), used: used, fitN: used}
+	rank := fitLine(ks)
+	spread := float64(capSlots) / float64(used)
+	nd.model = line{w: rank.w * spread, b: rank.b * spread}
+	prev := -1
+	for i, k := range ks {
+		p := clampSlot(nd.model.at(k), capSlots)
+		if p < prev+1 {
+			p = prev + 1
+		}
+		if hi := capSlots - (used - i); p > hi {
+			p = hi
+		}
+		nd.slots[p] = k
+		nd.occ[p] = true
+		e := float64(p) - nd.model.at(k)
+		nd.sseFit += e * e
+		prev = p
+	}
+	nd.refill(0, capSlots)
+	return nd
+}
+
+// refill restores the gap-copy invariant on [lo, hi): every free slot takes
+// the value of its nearest occupied left neighbour (searching below lo when
+// needed), and leading gaps take the node's first key.
+func (nd *node) refill(lo, hi int) {
+	left, seen := int64(0), false
+	for i := lo - 1; i >= 0; i-- {
+		if nd.occ[i] {
+			left, seen = nd.slots[i], true
+			break
+		}
+	}
+	if !seen {
+		left = nd.firstKey()
+	}
+	for i := lo; i < hi; i++ {
+		if nd.occ[i] {
+			left = nd.slots[i]
+			continue
+		}
+		nd.slots[i] = left
+	}
+}
+
+// firstKey returns the smallest stored key (nodes are never empty).
+func (nd *node) firstKey() int64 {
+	for i, ok := range nd.occ {
+		if ok {
+			return nd.slots[i]
+		}
+	}
+	panic("alex: empty node")
+}
+
+// keysInto appends the node's stored keys in order.
+func (nd *node) keysInto(out []int64) []int64 {
+	for i, ok := range nd.occ {
+		if ok {
+			out = append(out, nd.slots[i])
+		}
+	}
+	return out
+}
+
+func (nd *node) clone() *node {
+	cp := *nd
+	cp.slots = append([]int64(nil), nd.slots...)
+	cp.occ = append([]bool(nil), nd.occ...)
+	cp.shared = false
+	return &cp
+}
+
+// lowerBound returns the first slot index with slots[i] >= k (len(slots)
+// when none), the slot comparisons performed, and the bracket width the
+// exponential phase handed to the binary phase — the per-query search
+// window the model actually guaranteed.
+func (nd *node) lowerBound(k int64) (pos, probes, window int) {
+	n := len(nd.slots)
+	pred := clampSlot(nd.model.at(k), n)
+	lo, hi := -1, n // invariant: slots[lo] < k <= slots[hi] at the virtual ends
+	probes++
+	if nd.slots[pred] >= k {
+		hi = pred
+		step := 1
+		for i := pred - 1; i >= 0; i -= step {
+			probes++
+			if nd.slots[i] >= k {
+				hi = i
+				step <<= 1
+			} else {
+				lo = i
+				break
+			}
+		}
+	} else {
+		lo = pred
+		step := 1
+		for i := pred + 1; i < n; i += step {
+			probes++
+			if nd.slots[i] < k {
+				lo = i
+				step <<= 1
+			} else {
+				hi = i
+				break
+			}
+		}
+	}
+	window = hi - lo
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		probes++
+		if nd.slots[mid] >= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, probes, window
+}
+
+// contains reports membership: the gap-copy invariant makes slots[pos] == k
+// at the lower bound equivalent to "k is stored".
+func (nd *node) contains(k int64) bool {
+	pos, _, _ := nd.lowerBound(k)
+	return pos < len(nd.slots) && nd.slots[pos] == k
+}
+
+func (nd *node) prevOcc(i int) int {
+	for ; i >= 0; i-- {
+		if nd.occ[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (nd *node) nextOcc(i int) int {
+	for ; i < len(nd.slots); i++ {
+		if nd.occ[i] {
+			return i
+		}
+	}
+	return len(nd.slots)
+}
+
+func (nd *node) prevFree(i int) int {
+	for ; i >= 0; i-- {
+		if !nd.occ[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (nd *node) nextFree(i int) int {
+	for ; i < len(nd.slots); i++ {
+		if !nd.occ[i] {
+			return i
+		}
+	}
+	return len(nd.slots)
+}
+
+// insertPlan is the placement decision for one key: either a free slot
+// inside the gap run bracketing the key (gap=true; writes counts the key
+// write plus the gap copies to refresh), or a shift of the occupied run
+// toward the nearest free slot (gap=false; writes counts the moves plus the
+// key write). The plan is a pure function of node state, so the cascade
+// attacker's oracle can price candidate keys in parallel without mutating.
+type insertPlan struct {
+	gap          bool
+	target       int // slot the key lands in
+	loOcc, hiOcc int // occupied neighbours bracketing the key (-1 / len)
+	shiftFrom    int // free slot absorbing the shifted run (gap=false)
+	writes       int
+}
+
+// plan computes the insert placement for an ABSENT key k. The node must
+// have at least one free slot — guaranteed because leaves split strictly
+// below full occupancy.
+func (nd *node) plan(k int64) insertPlan {
+	n := len(nd.slots)
+	pos, _, _ := nd.lowerBound(k)
+	loOcc := nd.prevOcc(pos - 1)
+	hiOcc := nd.nextOcc(pos)
+	pred := clampSlot(nd.model.at(k), n)
+	if hiOcc-loOcc > 1 {
+		// A gap run brackets the key: land on the predicted slot inside it.
+		target := pred
+		if target < loOcc+1 {
+			target = loOcc + 1
+		}
+		if target > hiOcc-1 {
+			target = hiOcc - 1
+		}
+		writes := 1 + (hiOcc - 1 - target) // gap copies right of the landing slot
+		if loOcc < 0 {
+			writes += target // a new minimum refreshes the leading gap copies
+		}
+		return insertPlan{gap: true, target: target, loOcc: loOcc, hiOcc: hiOcc, writes: writes}
+	}
+	// Dense region: shift the occupied run toward the nearest free slot.
+	gl := nd.prevFree(loOcc)
+	gr := nd.nextFree(hiOcc)
+	costL, costR := math.MaxInt, math.MaxInt
+	if gl >= 0 {
+		costL = loOcc - gl
+	}
+	if gr < n {
+		costR = gr - hiOcc
+	}
+	if costL == math.MaxInt && costR == math.MaxInt {
+		panic("alex: insert into full node")
+	}
+	if costR <= costL {
+		return insertPlan{target: hiOcc, loOcc: loOcc, hiOcc: hiOcc, shiftFrom: gr, writes: costR + 1}
+	}
+	return insertPlan{target: loOcc, loOcc: loOcc, hiOcc: hiOcc, shiftFrom: gl, writes: costL + 1}
+}
+
+// insert places an absent key, returning the slot writes performed (the
+// shift/fill cost the structural attacker maximizes).
+func (nd *node) insert(k int64) int {
+	p := nd.plan(k)
+	if p.gap {
+		nd.slots[p.target] = k
+		nd.occ[p.target] = true
+		for i := p.target + 1; i < p.hiOcc; i++ {
+			nd.slots[i] = k // their nearest occupied left neighbour is now k
+		}
+		if p.loOcc < 0 {
+			for i := 0; i < p.target; i++ {
+				nd.slots[i] = k // k is the new first key: leading gaps copy it
+			}
+		}
+		nd.used++
+		return p.writes
+	}
+	if p.shiftFrom >= p.hiOcc {
+		// Shift the run [hiOcc, shiftFrom) one slot right into the free slot.
+		for i := p.shiftFrom; i > p.hiOcc; i-- {
+			nd.slots[i] = nd.slots[i-1]
+			nd.occ[i] = true
+		}
+	} else {
+		// Shift the run (shiftFrom, loOcc] one slot left into the free slot.
+		for i := p.shiftFrom; i < p.loOcc; i++ {
+			nd.slots[i] = nd.slots[i+1]
+			nd.occ[i] = true
+		}
+	}
+	nd.slots[p.target] = k
+	nd.occ[p.target] = true
+	nd.used++
+	return p.writes
+}
+
+// splitDue reports whether occupancy has crossed the split-density
+// threshold (80%). Leaves split strictly before filling up, which is what
+// guarantees insert always finds a free slot.
+func (nd *node) splitDue() bool { return nd.used*5 >= len(nd.slots)*4 }
+
+// nearSplit reports whether ONE more accepted key could cross the
+// threshold — the conservative TriggerPredictor signal.
+func (nd *node) nearSplit() bool { return (nd.used+1)*5 >= len(nd.slots)*4 }

@@ -214,14 +214,14 @@ func TestCompareBackends(t *testing.T) {
 			t.Fatalf("%s: probes missing: %+v", c.Backend, c)
 		}
 	}
-	for _, name := range []string{"dynamic", "rmi-single", "shard-4", "btree"} {
+	for _, name := range []string{"dynamic", "rmi-single", "shard-4", "alex", "btree"} {
 		if _, ok := byName[name]; !ok {
 			t.Fatalf("backend %s missing from the sweep", name)
 		}
 	}
 	// The learned backends pay for the poison; the B-Tree is the control
 	// whose probe count barely moves — the comparison the sweep exists for.
-	for _, name := range []string{"dynamic", "rmi-single", "shard-4"} {
+	for _, name := range []string{"dynamic", "rmi-single", "shard-4", "alex"} {
 		if c := byName[name]; c.ProbeInflation <= 1 {
 			t.Errorf("%s: probe inflation %v <= 1 after poisoning", name, c.ProbeInflation)
 		}

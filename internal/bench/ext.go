@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"cdfpoison/internal/alex"
 	"cdfpoison/internal/btree"
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/defense"
@@ -146,6 +147,9 @@ func CompareBackends(opts Options) ([]BackendCell, error) {
 		}},
 		{"shard-4", func(ks keys.Set) (index.Backend, error) {
 			return shard.New(ks, 4, dynamic.ManualPolicy())
+		}},
+		{"alex", func(ks keys.Set) (index.Backend, error) {
+			return alex.New(ks, 0)
 		}},
 		{"btree", func(ks keys.Set) (index.Backend, error) {
 			return btree.Bulk(32, ks.Keys())

@@ -8,7 +8,7 @@ package bench
 // any optimization actually landed. PerfSweep measures a FIXED cell list
 // (attack × n × workers, identical at every Scale so reports from any two
 // runs can be compared record-by-record), and the report serializes to the
-// perf artifact (BENCH_PR6.json at the repository root — BENCH_PR5.json is
+// perf artifact (BENCH_PR7.json at the repository root — BENCH_PR6.json is
 // the previous trajectory point): the checked-in baseline CI replays
 // against (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale
 // only controls how long each cell is sampled, never what it runs.
@@ -57,7 +57,7 @@ func (r PerfRecord) Key() string {
 }
 
 // PerfReport is the full sweep result, serialized to the perf artifact
-// (BENCH_PR6.json).
+// (BENCH_PR7.json).
 type PerfReport struct {
 	Schema     string       `json:"schema"`
 	Scale      string       `json:"scale"`
@@ -144,6 +144,17 @@ func perfCells() []perfCell {
 				Cost:        index.CostModel{Fixed: 50},
 				Oracle:      GreedyOracle(),
 			}, serve.Options{Readers: w})
+			return err
+		}},
+		{attack: "cascade", n: 4_000, p: 80, op: func(ks keys.Set, w int) error {
+			_, err := core.CascadeAttack(ks, core.CascadeOptions{
+				Epochs:      3,
+				OpsPerEpoch: 200,
+				EpochBudget: 80,
+				LeafTarget:  32,
+				Workload:    workload.NewZipf(1.1, 90),
+				Seed:        99,
+			}, core.WithWorkers(w))
 			return err
 		}},
 		{attack: "online", n: 5_000, p: 100, op: func(ks keys.Set, w int) error {

@@ -1,0 +1,86 @@
+package index_test
+
+// Differential conformance: the gapped-array learned index and the
+// model-free B-Tree are driven through IDENTICAL seeded workload streams
+// and must give identical answers at every step — Lookup hit/miss per
+// operation, Len and Keys at every epoch boundary. Probe counts are free to
+// differ (that difference IS the paper's subject); membership is not. The
+// B-Tree is the trusted reference: it has no model to poison and rebalances
+// locally, so any divergence is an alex structural bug, caught at the exact
+// operation that introduced it.
+
+import (
+	"testing"
+
+	"cdfpoison/internal/alex"
+	"cdfpoison/internal/btree"
+	"cdfpoison/internal/index"
+	"cdfpoison/internal/workload"
+)
+
+func TestDifferentialAlexVsBTree(t *testing.T) {
+	initial := fixture(t, 600)
+	specs := map[string]workload.Spec{
+		"zipf-read-heavy":  workload.NewZipf(1.1, 80),
+		"uniform-balanced": workload.NewUniform(50),
+		"hotspot-writes":   workload.NewHotspot(10, 20),
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			var a index.Backend
+			a, err := alex.New(initial, 24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := btree.Bulk(32, initial.Keys())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two generators, same seed: byte-identical op streams.
+			domain := 2 * (initial.Max() + 1)
+			genA, err := workload.NewGenerator(spec, initial, domain, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genB, err := workload.NewGenerator(spec, initial, domain, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const epochs, opsPerEpoch = 6, 400
+			for e := 0; e < epochs; e++ {
+				for op := 0; op < opsPerEpoch; op++ {
+					oa, ob := genA.Next(), genB.Next()
+					if oa != ob {
+						t.Fatalf("epoch %d op %d: generators diverged (%+v vs %+v)", e, op, oa, ob)
+					}
+					if oa.Read {
+						ra, rb := a.Lookup(oa.Key), b.Lookup(oa.Key)
+						if ra.Found != rb.Found {
+							t.Fatalf("epoch %d op %d: Lookup(%d) alex found=%v, btree found=%v",
+								e, op, oa.Key, ra.Found, rb.Found)
+						}
+						continue
+					}
+					accA, _ := a.Insert(oa.Key)
+					accB, _ := b.Insert(ob.Key)
+					if accA != accB {
+						t.Fatalf("epoch %d op %d: Insert(%d) alex accepted=%v, btree accepted=%v",
+							e, op, oa.Key, accA, accB)
+					}
+				}
+				// Epoch boundary: content must agree exactly. Mid-stream
+				// retrains on alex (a structural rebuild) must not change it.
+				if a.Len() != b.Len() {
+					t.Fatalf("epoch %d: Len alex=%d btree=%d", e, a.Len(), b.Len())
+				}
+				if !a.Keys().Equal(b.Keys()) {
+					t.Fatalf("epoch %d: key sets diverged", e)
+				}
+				if e == epochs/2 {
+					a.Retrain()
+					b.Retrain()
+				}
+			}
+		})
+	}
+}

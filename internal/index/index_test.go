@@ -8,6 +8,7 @@ package index_test
 import (
 	"testing"
 
+	"cdfpoison/internal/alex"
 	"cdfpoison/internal/btree"
 	"cdfpoison/internal/dataset"
 	"cdfpoison/internal/defense"
@@ -41,6 +42,9 @@ func backendFactories() map[string]func(keys.Set) (index.Backend, error) {
 				return nil, err
 			}
 			return defense.NewGuard(b, defense.GuardOptions{}), nil
+		},
+		"alex": func(ks keys.Set) (index.Backend, error) {
+			return alex.New(ks, 32)
 		},
 	}
 }
