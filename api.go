@@ -17,6 +17,7 @@ import (
 	"cdfpoison/internal/pla"
 	"cdfpoison/internal/regression"
 	"cdfpoison/internal/rmi"
+	"cdfpoison/internal/robust"
 	"cdfpoison/internal/serve"
 	"cdfpoison/internal/shard"
 	"cdfpoison/internal/workload"
@@ -690,4 +691,114 @@ type GuardedBackend = defense.Guard
 // NewGuardedBackend wraps a backend with the density screen.
 func NewGuardedBackend(b IndexBackend, opts GuardOptions) *GuardedBackend {
 	return defense.NewGuard(b, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Defense & robustness plane
+// ---------------------------------------------------------------------------
+
+// CDFFitter is a robust alternative to the OLS CDF fit: a deterministic
+// estimator the learned backends can retrain with so that poison mass does
+// not drag the model (internal/robust).
+type CDFFitter = robust.Fitter
+
+// OLSFitter is the baseline ordinary-least-squares CDF fit behind the
+// Fitter interface.
+type OLSFitter = robust.OLS
+
+// TheilSenFitter is the deterministic Theil–Sen median-of-slopes estimator:
+// up to ~29% contamination moves the fit only marginally.
+type TheilSenFitter = robust.TheilSen
+
+// TrimmedFitter is iteratively trimmed least squares: refit OLS on the
+// (100-Pct)% best-fitting keys until the kept set stabilizes.
+type TrimmedFitter = robust.Trimmed
+
+// ParseCDFFitter parses a fitter spec: "ols" | "theilsen" | "trimmed:P".
+func ParseCDFFitter(s string) (CDFFitter, error) { return robust.ParseFitter(s) }
+
+// NewDynamicIndexWithFit is NewDynamicIndex with a pluggable CDF trainer
+// (nil fit keeps OLS); pass a CDFFitter's Fit method to retrain robustly.
+func NewDynamicIndexWithFit(ks KeySet, policy RetrainPolicy, fit func(KeySet) (Model, error)) (*DynamicIndex, error) {
+	return dynamic.NewWithFit(ks, policy, fit)
+}
+
+// NewShardedIndexWithFit is NewShardedIndex with a pluggable per-shard CDF
+// trainer (nil fit keeps OLS).
+func NewShardedIndexWithFit(ks KeySet, shards int, policy RetrainPolicy, fit func(KeySet) (Model, error)) (*ShardedIndex, error) {
+	return shard.NewWithFit(ks, shards, policy, fit)
+}
+
+// NewSingleModelIndexWithFit is NewSingleModelIndex with a pluggable
+// stage-2 trainer (nil fit keeps OLS).
+func NewSingleModelIndexWithFit(ks KeySet, fit func(KeySet) (Model, error)) (*SingleModelIndex, error) {
+	return rmi.NewSingleWithFit(ks, fit)
+}
+
+// NewBalancedAlexIndex is NewAlexIndex with the density-balancing split
+// policy: splits partition at the widest key-space gap instead of the
+// occupancy midpoint, denying the cascade attacker its dense corner.
+func NewBalancedAlexIndex(ks KeySet, leafTarget int) (*AlexIndex, error) {
+	return alex.NewBalanced(ks, leafTarget)
+}
+
+// GuardPolicy is one composable insert-screening detector for the guarded
+// backend; chain them in GuardOptions.Policies.
+type GuardPolicy = defense.Policy
+
+// DensityGuardPolicy screens one-sided rank-window density.
+type DensityGuardPolicy = defense.DensityPolicy
+
+// DupMassGuardPolicy screens near-duplicate key mass.
+type DupMassGuardPolicy = defense.DupMassPolicy
+
+// GapOutlierGuardPolicy screens gap-edge asymmetry.
+type GapOutlierGuardPolicy = defense.GapOutlierPolicy
+
+// LossSpikeGuardPolicy screens retrain-loss spikes using the attacker's own
+// closed-form oracle.
+type LossSpikeGuardPolicy = defense.LossSpikePolicy
+
+// ParseGuardPolicyChain parses the '|'-separated detector-chain spec
+// ("density:8:3|dupmass:3:3|gapout:6|lossspike:2"; "none" for the empty
+// chain). It is total — any input yields a chain or an error.
+func ParseGuardPolicyChain(spec string) ([]GuardPolicy, error) {
+	return defense.ParsePolicyChain(spec)
+}
+
+// GuardPolicyChainSpec renders a chain back to its canonical spec string.
+func GuardPolicyChainSpec(ps []GuardPolicy) string { return defense.ChainSpec(ps) }
+
+// WriteRateLimiter enforces a per-source write budget over a sliding window
+// of logical operations, deterministically.
+type WriteRateLimiter = defense.RateLimiter
+
+// NewWriteRateLimiter builds a limiter allowing budget write attempts per
+// source per window logical ops (both >= 1).
+func NewWriteRateLimiter(budget, window int) (*WriteRateLimiter, error) {
+	return defense.NewRateLimiter(budget, window)
+}
+
+// ScenarioDefense arms the defense plane of any attack scenario (static,
+// online, serve, churn, cascade): detector chain, robust fitter, per-source
+// rate limiting, and the balanced split policy. The zero value changes
+// nothing.
+type ScenarioDefense = core.DefenseSpec
+
+// ScenarioDefenseReport is a scenario's defense-plane accounting, split by
+// origin (victim honest/poison, clean twin).
+type ScenarioDefenseReport = core.DefenseReport
+
+// StaticAttackOptions parameterizes StaticScenarioAttack.
+type StaticAttackOptions = core.StaticOptions
+
+// StaticAttackResult reports StaticScenarioAttack.
+type StaticAttackResult = core.StaticResult
+
+// StaticScenarioAttack mounts the paper's one-shot (Algorithm 1) attack as
+// a defense-aware scenario: the computed poison drips through the victim's
+// write path — where a guard chain, rate limiter, or robust fitter can
+// fight back — interleaved with honest writes, against a clean twin.
+func StaticScenarioAttack(initial KeySet, opts StaticAttackOptions, execOpts ...AttackOption) (StaticAttackResult, error) {
+	return core.StaticAttack(initial, opts, execOpts...)
 }

@@ -46,13 +46,13 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|cascade|throughput|perf|all (all excludes perf)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|cascade|throughput|defense|perf|all (all excludes perf)")
 		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
 		seed    = flag.Uint64("seed", 42, "root RNG seed")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 	)
-	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR7.json) to compare the perf sweep against; exit 1 on regression")
+	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR8.json) to compare the perf sweep against; exit 1 on regression")
 	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
@@ -83,13 +83,14 @@ func main() {
 		"churn":      runChurn,
 		"cascade":    runCascade,
 		"throughput": runThroughput,
+		"defense":    runDefense,
 		"perf":       runPerf,
 	}
 	// perf is deliberately absent: wall-clock benchmarks do not belong in a
 	// figures-regeneration run (they are requested explicitly). throughput IS
 	// included: its CSV columns are deterministic (ops/sec goes to stdout
 	// only), so it regenerates like any figure.
-	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn", "cascade", "throughput"}
+	order := []string{"2", "3", "4", "5", "6", "7", "8", "ext", "ablation", "online", "serve", "churn", "cascade", "throughput", "defense"}
 
 	var selected []string
 	if *fig == "all" {
@@ -128,6 +129,8 @@ func name(f string) string {
 		return "split-cascade scenario"
 	case "throughput":
 		return "throughput scenario"
+	case "defense":
+		return "defense Pareto sweep"
 	case "perf":
 		return "perf sweep"
 	default:
@@ -580,7 +583,7 @@ func runServe(opts bench.Options, out string) error {
 
 // perfArtifact is the perf report's file name: the repository root holds
 // the checked-in baseline of the same name that CI gates against.
-const perfArtifact = "BENCH_PR7.json"
+const perfArtifact = "BENCH_PR8.json"
 
 // runChurn renders the retrain-churn sweep: the per-epoch staleness,
 // publish-latency, and loss trajectory of core.ChurnAttack across
@@ -686,6 +689,43 @@ func runCascade(opts bench.Options, out string) error {
 	fmt.Printf("max struct ratio: %.1f×, attacker-forced cascades: %d\n",
 		res.MaxStructRatio(), res.TotalCascades())
 	return writeCSV(out, "cascade.csv", tb)
+}
+
+// runDefense renders the attack-vs-defense Pareto sweep: every scenario at
+// three defense strengths, with damage reduction plotted against the honest-
+// traffic overhead the defense charged. Every column is deterministic, so
+// the CSV is fingerprintable.
+func runDefense(opts bench.Options, out string) error {
+	fmt.Println("=== Defense Pareto sweep: attack-damage reduction vs honest-traffic overhead ===")
+	res, err := bench.DefenseSweep(opts)
+	if err != nil {
+		return err
+	}
+	tb := export.NewTable("scenario", "strength", "defense", "damage", "damage_excess",
+		"damage_reduction", "honest_overhead", "poison_blocked",
+		"flagged_poison", "flagged_honest", "throttled_poison", "throttled_honest",
+		"clean_flagged", "clean_throttled", "frontier")
+	for _, c := range res.Cells {
+		tb.AddRow(c.Scenario, c.Strength, c.Spec,
+			export.F(c.Damage), export.F(c.Excess), export.F(c.Reduction),
+			export.F(c.Overhead), export.F(c.PoisonBlocked),
+			fmt.Sprint(c.Report.FlaggedPoison), fmt.Sprint(c.Report.FlaggedHonest),
+			fmt.Sprint(c.Report.ThrottledPoison), fmt.Sprint(c.Report.ThrottledHonest),
+			fmt.Sprint(c.Report.CleanFlagged), fmt.Sprint(c.Report.CleanThrottled),
+			fmt.Sprint(c.Frontier))
+	}
+	tb.Render(os.Stdout)
+	// Per-scenario headline: the best armed tier under the 20% overhead bar.
+	for _, s := range res.Scenarios() {
+		best, ok := res.Best(s, 0.2)
+		if !ok {
+			fmt.Printf("%-8s no armed tier under the 20%% overhead bar\n", s)
+			continue
+		}
+		fmt.Printf("%-8s best: %-45s %6.1fx damage reduction at %4.1f%% honest overhead\n",
+			s, best.Spec, best.Reduction, best.Overhead*100)
+	}
+	return writeCSV(out, "defense.csv", tb)
 }
 
 // runThroughput renders the concurrent-serving throughput sweep: per-epoch

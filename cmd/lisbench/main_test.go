@@ -153,6 +153,31 @@ func TestOnlineCSVRowCount(t *testing.T) {
 	}
 }
 
+func TestRunDefense(t *testing.T) {
+	runAndCheckCSV(t, "defense", runDefense, "defense.csv")
+}
+
+// TestDefenseCSVRowCount: one row per (scenario × strength) cell plus the
+// header — five scenarios, three defense tiers each.
+func TestDefenseCSVRowCount(t *testing.T) {
+	dir := t.TempDir()
+	if err := silently(t, func() error { return runDefense(quickOpts(), dir) }); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(filepath.Join(dir, "defense.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rows, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5*3 + 1; len(rows) != want {
+		t.Fatalf("defense.csv has %d rows, want %d (header + scenarios×strengths)", len(rows), want)
+	}
+}
+
 func TestRunAblations(t *testing.T) {
 	runAndCheckCSV(t, "ablation", runAblations,
 		"ablation-endpoints.csv", "ablation-volume.csv", "ablation-alpha.csv")

@@ -14,6 +14,7 @@
 //	lispoison throughput -in keys.txt -epochs 5 -percent 2 -readers 4 -cost fixed:40
 //	lispoison eval   -clean keys.txt -poison poison.txt [-modelsize 100]
 //	lispoison defend -in poisoned.txt -clean-count 10000 -o kept.txt
+//	lispoison defense -in keys.txt -scenario serve -chain density:8:3|dupmass:3:3 -rate 4:20 -sources 8
 //
 // The online subcommand mounts the dynamic-index scenario: the attacker
 // injects -percent (of the input keys) poison keys PER EPOCH into an
@@ -55,6 +56,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -85,6 +87,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "defend":
 		err = cmdDefend(os.Args[2:])
+	case "defense":
+		err = cmdDefense(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -98,7 +102,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|cascade|throughput|eval|defend> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lispoison <gen|attack|online|serve|churn|cascade|throughput|eval|defend|defense> [flags]
 
   gen        generate a key dataset (uniform|normal|lognormal|salaries|osm)
   attack     poison a key file (linear regression on CDF, or two-stage RMI)
@@ -109,6 +113,7 @@ func usage() {
   throughput poison the concurrent serving plane; report tail-latency SLOs
   eval       measure ratio loss of a poisoned file against the clean file
   defend     run the TRIM defense on a poisoned file
+  defense    arm the online defense plane against one scenario; report the trade-off
 
 Run 'lispoison <subcommand> -h' for flags.`)
 	os.Exit(2)
@@ -751,5 +756,162 @@ func cmdDefend(args []string) error {
 			return fmt.Errorf("defend: %w", err)
 		}
 	}
+	return nil
+}
+
+// cmdDefense mounts one attack scenario twice — undefended, then with the
+// requested defense plane armed — and prints the damage reduction the
+// defense bought against the honest-traffic overhead it charged. The same
+// numbers, swept across scenarios and tiers, are `lisbench -fig defense`.
+func cmdDefense(args []string) error {
+	fs := flag.NewFlagSet("defense", flag.ExitOnError)
+	in := fs.String("in", "", "input key file (required)")
+	scenario := fs.String("scenario", "static", "attack scenario to defend: static | online | serve | churn | cascade")
+	chainStr := fs.String("chain", "density:8:3|dupmass:3:3", "detector chain spec: density:W:R | dupmass:W:C | gapout:R | lossspike:R, '|'-separated; none disables")
+	fitterStr := fs.String("fitter", "", "robust CDF fitter replacing OLS in retrains: ols | theilsen | trimmed:P (empty = keep OLS)")
+	rateStr := fs.String("rate", "", "per-source write rate limit BUDGET:WINDOW (empty = no limiter)")
+	sources := fs.Int("sources", 0, "spread honest writes round-robin over this many sources (the attacker gets its own)")
+	balanced := fs.Bool("balanced", false, "use the density-balancing split policy (cascade scenario)")
+	epochs := fs.Int("epochs", 4, "scenario epochs (online|serve|churn|cascade)")
+	percent := fs.Float64("percent", 5, "attacker budget as %% of the input keys (per epoch; one-shot for static)")
+	ops := fs.Int("ops", 0, "honest operations per epoch — honest writes total for static (default 10%% of the input keys)")
+	shards := fs.Int("shards", 4, "shard count (serve|churn)")
+	policyStr := fs.String("policy", "", "retrain policy: manual | every:K | buffer:K (default manual; buffer:K/8 for churn)")
+	costStr := fs.String("cost", "fixed:30", "rebuild cost model for churn: zero | fixed:F | linear:F:P[:U]")
+	workloadStr := fs.String("workload", "zipf:1.1:85", "honest mix: uniform[:R] | zipf[:T[:R]] | hotspot[:H[:R]]")
+	seed := fs.Uint64("seed", 42, "rng seed for the operation stream")
+	workers := fs.Int("workers", 0, "worker pool size: 0 = one per core, 1 = sequential; results are identical for any value")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("defense: -in is required")
+	}
+	ks, err := readKeys(*in)
+	if err != nil {
+		return fmt.Errorf("defense: %w", err)
+	}
+
+	spec := cdfpoison.ScenarioDefense{Sources: *sources, BalancedSplit: *balanced}
+	if *chainStr != "" {
+		if spec.Policies, err = cdfpoison.ParseGuardPolicyChain(*chainStr); err != nil {
+			return fmt.Errorf("defense: %w", err)
+		}
+	}
+	if *fitterStr != "" {
+		if spec.Fitter, err = cdfpoison.ParseCDFFitter(*fitterStr); err != nil {
+			return fmt.Errorf("defense: %w", err)
+		}
+	}
+	if *rateStr != "" {
+		if n, err := fmt.Sscanf(*rateStr, "%d:%d", &spec.RateBudget, &spec.RateWindow); n != 2 || err != nil {
+			return fmt.Errorf("defense: -rate wants BUDGET:WINDOW, got %q", *rateStr)
+		}
+	}
+
+	mix, err := cdfpoison.ParseWorkload(*workloadStr)
+	if err != nil {
+		return fmt.Errorf("defense: %w", err)
+	}
+	cost, err := cdfpoison.ParseRebuildCost(*costStr)
+	if err != nil {
+		return fmt.Errorf("defense: %w", err)
+	}
+	policySpec := *policyStr
+	if policySpec == "" {
+		policySpec = "manual"
+		if *scenario == "churn" {
+			policySpec = fmt.Sprintf("buffer:%d", max(ks.Len()/8/max(*shards, 1), 2))
+		}
+	}
+	policy, err := cdfpoison.ParseRetrainPolicy(policySpec)
+	if err != nil {
+		return fmt.Errorf("defense: %w", err)
+	}
+	budget := int(float64(ks.Len()) * *percent / 100)
+	opsPerEpoch := *ops
+	if opsPerEpoch == 0 {
+		opsPerEpoch = ks.Len() / 10
+	}
+
+	ratio := func(victim, clean float64) float64 {
+		switch {
+		case clean != 0:
+			return victim / clean
+		case victim == 0:
+			return 1
+		default:
+			return math.Inf(1)
+		}
+	}
+	run := func(d cdfpoison.ScenarioDefense) (float64, cdfpoison.ScenarioDefenseReport, error) {
+		w := cdfpoison.WithParallelism(*workers)
+		switch *scenario {
+		case "static":
+			res, err := cdfpoison.StaticScenarioAttack(ks, cdfpoison.StaticAttackOptions{
+				Budget: budget, HonestWrites: opsPerEpoch,
+				Domain: ks.Max() + 1, Seed: *seed, Defense: d,
+			}, w)
+			if err != nil {
+				return 0, cdfpoison.ScenarioDefenseReport{}, err
+			}
+			return res.RatioLoss, res.Defense, nil
+		case "online":
+			res, err := cdfpoison.OnlinePoisonAttack(ks, cdfpoison.OnlineOptions{
+				Epochs: *epochs, EpochBudget: budget, Policy: policy, Defense: d,
+			}, w)
+			if err != nil {
+				return 0, cdfpoison.ScenarioDefenseReport{}, err
+			}
+			return res.FinalRatio(), res.Defense, nil
+		case "serve":
+			res, err := cdfpoison.ServeAttack(ks, cdfpoison.ServeOptions{
+				Epochs: *epochs, OpsPerEpoch: opsPerEpoch, EpochBudget: budget,
+				Shards: *shards, Policy: policy, Workload: mix, Seed: *seed, Defense: d,
+			}, w)
+			if err != nil {
+				return 0, cdfpoison.ScenarioDefenseReport{}, err
+			}
+			return res.FinalRatio(), res.Defense, nil
+		case "churn":
+			res, err := cdfpoison.ChurnAttack(ks, cdfpoison.ChurnOptions{
+				Epochs: *epochs, OpsPerEpoch: opsPerEpoch, EpochBudget: budget,
+				Shards: *shards, Policy: policy, Workload: mix, Seed: *seed,
+				Cost: cost, Defense: d,
+			}, w)
+			if err != nil {
+				return 0, cdfpoison.ScenarioDefenseReport{}, err
+			}
+			return ratio(float64(res.VictimChurn.RebuildTicks), float64(res.CleanChurn.RebuildTicks)), res.Defense, nil
+		case "cascade":
+			res, err := cdfpoison.CascadeAttack(ks, cdfpoison.CascadeOptions{
+				Epochs: *epochs, OpsPerEpoch: opsPerEpoch, EpochBudget: budget,
+				Workload: mix, Seed: *seed, Defense: d,
+			}, w)
+			if err != nil {
+				return 0, cdfpoison.ScenarioDefenseReport{}, err
+			}
+			return res.FinalStructRatio(), res.Defense, nil
+		default:
+			return 0, cdfpoison.ScenarioDefenseReport{}, fmt.Errorf("unknown scenario %q (want static | online | serve | churn | cascade)", *scenario)
+		}
+	}
+
+	bare, _, err := run(cdfpoison.ScenarioDefense{})
+	if err != nil {
+		return fmt.Errorf("defense: undefended %s: %w", *scenario, err)
+	}
+	defended, rep, err := run(spec)
+	if err != nil {
+		return fmt.Errorf("defense: defended %s: %w", *scenario, err)
+	}
+
+	fmt.Printf("%s scenario, attacker budget %d keys (%.3g%%)\n", *scenario, budget, *percent)
+	fmt.Printf("  undefended damage ratio  %8.3f\n", bare)
+	fmt.Printf("  defended damage ratio    %8.3f\n", defended)
+	fmt.Printf("  damage reduction         %8.3fx (on the excess over 1)\n",
+		ratio(math.Max(bare-1, 0), math.Max(defended-1, 0)))
+	fmt.Printf("  poison blocked           %8.1f%% (%d flagged, %d throttled of %d attempts)\n",
+		rep.PoisonBlockedFrac()*100, rep.FlaggedPoison, rep.ThrottledPoison, rep.PoisonAttempts)
+	fmt.Printf("  honest overhead          %8.1f%% (clean twin: %d flagged, %d throttled of %d attempts)\n",
+		rep.HonestBlockedFrac()*100, rep.CleanFlagged, rep.CleanThrottled, rep.CleanAttempts)
 	return nil
 }

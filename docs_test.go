@@ -99,6 +99,11 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			// scenario (internal/core/cascade.go), and api.go cite §9.
 			"§9 Gapped-array backend",
 			"cascade attack",
+			// internal/robust (fitter contract), internal/defense (policy
+			// chain), core.DefenseSpec, and the defense sweep cite §10.
+			"§10 Defense plane",
+			"Robust fitters",
+			"Pareto harness",
 		},
 		// doc.go promises the paper-vs-measured record; api.go cites Ext. F;
 		// bench/perf.go and the CI gate cite the perf trajectory.
@@ -125,11 +130,18 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"throughput.csv",
 			// The split-cascade scenario (internal/bench/cascade.go,
 			// cmd/lisbench) cites its CSV fingerprint section; BENCH_PR7.json
-			// is the live baseline the CI perf gate compares against.
+			// stays recorded as a previous trajectory point.
 			"Split-cascade scenario",
 			"-fig cascade",
 			"cascade.csv",
 			"BENCH_PR7.json",
+			// The defense sweep (internal/bench/defense.go, cmd/lisbench)
+			// cites its fingerprint section; BENCH_PR8.json is the live
+			// baseline the CI perf gate compares against.
+			"Defense Pareto sweep",
+			"-fig defense",
+			"defense.csv",
+			"BENCH_PR8.json",
 		},
 		// doc.go points readers at the catalog and sweep instructions.
 		"README.md": {
@@ -146,6 +158,11 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			// examples/alex_cascade) point readers at the catalog entry.
 			"CascadeAttack",
 			"NewAlexIndex",
+			// The defense plane (api.go, cmd/lispoison defense) points
+			// readers at the catalog entry and the defense sweep line.
+			"ScenarioDefense",
+			"ParseGuardPolicyChain",
+			"-fig defense",
 		},
 	} {
 		data, err := os.ReadFile(file)

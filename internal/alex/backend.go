@@ -182,6 +182,10 @@ type Index struct {
 	viewShared  bool // v.nodes / v.lows aliased by a snapshot
 	leafTarget  int
 	fanoutLimit int
+	// balancedSplit switches leaf splits from the midpoint count cut to the
+	// widest key-space gap near the middle (the density-balancing defense;
+	// see NewBalanced).
+	balancedSplit bool
 
 	retrains    int
 	lastRebuild int
@@ -209,6 +213,24 @@ func New(ks keys.Set, leafTarget int) (*Index, error) {
 	x := &Index{leafTarget: leafTarget}
 	x.install(x.buildLeaves(ks.Keys(), nil))
 	x.lastRebuild = ks.Len()
+	return x, nil
+}
+
+// NewBalanced is New with density-balancing splits: instead of cutting an
+// overflowing leaf at its midpoint count, the split lands on the widest
+// KEY-SPACE gap in the middle half of the leaf. A cascade attacker's poison
+// is a dense run of adjacent keys; a midpoint cut leaves that run straddling
+// both halves so the next few drips re-trip both, while the gap cut isolates
+// the dense run in one half and hands the other a wide, cheap range — the
+// cost-aware structural defense the defense sweep measures (DESIGN.md §10).
+// Lookups, snapshots, and every invariant are unchanged; only where splits
+// cut differs.
+func NewBalanced(ks keys.Set, leafTarget int) (*Index, error) {
+	x, err := New(ks, leafTarget)
+	if err != nil {
+		return nil, err
+	}
+	x.balancedSplit = true
 	return x, nil
 }
 
@@ -328,7 +350,7 @@ func (x *Index) Insert(k int64) (accepted, retrained bool) {
 func (x *Index) split(i int) {
 	nd := x.v.nodes[i]
 	ks := nd.keysInto(make([]int64, 0, nd.used))
-	mid := len(ks) / 2
+	mid := x.splitPoint(ks)
 	left, right := buildNode(ks[:mid]), buildNode(ks[mid:])
 	nodes := make([]*node, 0, len(x.v.nodes)+1)
 	nodes = append(nodes, x.v.nodes[:i]...)
@@ -350,6 +372,43 @@ func (x *Index) split(i int) {
 		x.cascadeKeys += int64(x.v.total)
 		x.rebuild(nil)
 	}
+}
+
+// splitPoint picks where a split cuts the leaf's key run: the midpoint by
+// default, or — under balanced splits — the widest key-space gap within the
+// middle half [len/4, 3·len/4], ties broken toward the midpoint and then
+// the lower index. Both halves are always non-empty, and the choice is a
+// pure function of the key run, so determinism is untouched.
+func (x *Index) splitPoint(ks []int64) int {
+	mid := len(ks) / 2
+	if !x.balancedSplit {
+		return mid
+	}
+	lo, hi := len(ks)/4, 3*len(ks)/4
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(ks)-1 {
+		hi = len(ks) - 1
+	}
+	best, bestGap := mid, int64(-1)
+	for j := lo; j <= hi; j++ {
+		g := ks[j] - ks[j-1]
+		switch {
+		case g > bestGap:
+			best, bestGap = j, g
+		case g == bestGap && absInt(j-mid) < absInt(best-mid):
+			best = j
+		}
+	}
+	return best
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // rebuild repartitions every key into fresh leaves (the cascade / explicit

@@ -232,6 +232,24 @@ func TestCompareBackends(t *testing.T) {
 	if bt := byName["btree"]; bt.CleanWindow != 0 || bt.Retrains != 0 {
 		t.Errorf("btree reports model stats: %+v", bt)
 	}
+	// Every substrate has a guarded twin, the guard leaves the CLEAN build's
+	// probes untouched (detectors only screen inserts), and on the learned
+	// backends the screen recovers damage — guarded inflation strictly below
+	// bare inflation.
+	for _, name := range []string{"dynamic", "rmi-single", "shard-4", "alex", "btree"} {
+		g, ok := byName["guarded-"+name]
+		if !ok {
+			t.Fatalf("guarded twin of %s missing from the sweep", name)
+		}
+		if g.CleanProbes != byName[name].CleanProbes {
+			t.Errorf("guarded-%s clean probes %v != bare %v — a guard must not touch reads",
+				name, g.CleanProbes, byName[name].CleanProbes)
+		}
+		if name != "btree" && g.ProbeInflation >= byName[name].ProbeInflation {
+			t.Errorf("guarded-%s inflation %v did not improve on bare %v",
+				name, g.ProbeInflation, byName[name].ProbeInflation)
+		}
+	}
 }
 
 func TestTrimDefense(t *testing.T) {

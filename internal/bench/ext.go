@@ -119,7 +119,10 @@ type BackendCell struct {
 // measured before and after through index.Backend.ProbeSum alone. The
 // B-Tree row is the control: a balanced structure absorbs the same keys
 // with essentially unchanged probes, which is the paper's motivating
-// trade-off made measurable.
+// trade-off made measurable. Every substrate also gets a "guarded-" twin
+// behind the standard detector chain (defense.Guard): its probe-inflation
+// column reads how much of the damage an insert-time screen recovers on
+// that substrate, through the identical measurement path.
 func CompareBackends(opts Options) ([]BackendCell, error) {
 	opts = opts.fill()
 	n := 50_000
@@ -154,6 +157,20 @@ func CompareBackends(opts Options) ([]BackendCell, error) {
 		{"btree", func(ks keys.Set) (index.Backend, error) {
 			return btree.Bulk(32, ks.Keys())
 		}},
+	}
+	chain := defenseChain("density:8:3|dupmass:3:3")
+	for _, b := range backends[:len(backends):len(backends)] {
+		inner := b.build
+		backends = append(backends, struct {
+			name  string
+			build core.BackendFactory
+		}{"guarded-" + b.name, func(ks keys.Set) (index.Backend, error) {
+			base, err := inner(ks)
+			if err != nil {
+				return nil, err
+			}
+			return defense.NewGuard(base, defense.GuardOptions{Policies: chain}), nil
+		}})
 	}
 	legit := ks.Keys()
 	var out []BackendCell

@@ -8,7 +8,7 @@ package bench
 // any optimization actually landed. PerfSweep measures a FIXED cell list
 // (attack × n × workers, identical at every Scale so reports from any two
 // runs can be compared record-by-record), and the report serializes to the
-// perf artifact (BENCH_PR7.json at the repository root — BENCH_PR6.json is
+// perf artifact (BENCH_PR8.json at the repository root — BENCH_PR7.json is
 // the previous trajectory point): the checked-in baseline CI replays
 // against (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale
 // only controls how long each cell is sampled, never what it runs.
@@ -24,6 +24,7 @@ import (
 	"cdfpoison/internal/dynamic"
 	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
+	"cdfpoison/internal/robust"
 	"cdfpoison/internal/serve"
 	"cdfpoison/internal/shard"
 	"cdfpoison/internal/workload"
@@ -57,7 +58,7 @@ func (r PerfRecord) Key() string {
 }
 
 // PerfReport is the full sweep result, serialized to the perf artifact
-// (BENCH_PR7.json).
+// (BENCH_PR8.json).
 type PerfReport struct {
 	Schema     string       `json:"schema"`
 	Scale      string       `json:"scale"`
@@ -154,6 +155,27 @@ func perfCells() []perfCell {
 				LeafTarget:  32,
 				Workload:    workload.NewZipf(1.1, 90),
 				Seed:        99,
+			}, core.WithWorkers(w))
+			return err
+		}},
+		// The defense plane's hot-path price: the serve cell again, but with
+		// the full defense armed — detector chain on every write, trimmed
+		// retrains, per-source rate limiting. Compare against the bare
+		// "serve" cell to read the overhead directly.
+		{attack: "defended-serve", n: 4_000, p: 80, op: func(ks keys.Set, w int) error {
+			_, err := core.ServeAttack(ks, core.ServeOptions{
+				Epochs:      3,
+				OpsPerEpoch: 200,
+				EpochBudget: 80,
+				Shards:      4,
+				Policy:      dynamic.ManualPolicy(),
+				Workload:    workload.NewZipf(1.1, 90),
+				Seed:        99,
+				Defense: core.DefenseSpec{
+					Policies:   defenseChain("density:8:3|dupmass:3:3"),
+					Fitter:     robust.Trimmed{Pct: 10},
+					RateBudget: 4, RateWindow: 20, Sources: 8,
+				},
 			}, core.WithWorkers(w))
 			return err
 		}},

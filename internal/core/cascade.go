@@ -41,6 +41,15 @@ type CascadeOptions struct {
 	Domain int64
 	// Seed drives the workload stream.
 	Seed uint64
+	// Defense arms the defense plane on victim and clean twin alike; the
+	// zero value changes nothing (see DefenseSpec). The cascade-native
+	// mechanisms are BalancedSplit (splits land in the widest key-space gap,
+	// so the attacker's dense corner stops concentrating occupancy), the
+	// gap-outlier detector (poison keys sit at gap edges by construction),
+	// and rate limiting (the drip needs sustained write pressure). The
+	// Fitter field is ignored — the gapped-array backend has no pluggable
+	// CDF fit.
+	Defense DefenseSpec
 }
 
 func (o CascadeOptions) domain(initial keys.Set) int64 {
@@ -111,6 +120,8 @@ type CascadeResult struct {
 	Poison keys.Set // union of all accepted poison keys
 	// VictimStruct / CleanStruct are the final structural accountings.
 	VictimStruct, CleanStruct alex.StructStats
+	// Defense is the defense-plane accounting (zero when no defense armed).
+	Defense DefenseReport
 }
 
 // FinalStructRatio returns the last epoch's victim/clean structural-cost
@@ -247,11 +258,15 @@ func CascadeAttack(initial keys.Set, opts CascadeOptions, execOpts ...Option) (C
 	if err := opts.validate(); err != nil {
 		return CascadeResult{}, err
 	}
-	victim, err := alex.New(initial, opts.LeafTarget)
+	build := alex.New
+	if opts.Defense.BalancedSplit {
+		build = alex.NewBalanced
+	}
+	victim, err := build(initial, opts.LeafTarget)
 	if err != nil {
 		return CascadeResult{}, err
 	}
-	clean, err := alex.New(initial, opts.LeafTarget)
+	clean, err := build(initial, opts.LeafTarget)
 	if err != nil {
 		return CascadeResult{}, err
 	}
@@ -259,9 +274,19 @@ func CascadeAttack(initial keys.Set, opts CascadeOptions, execOpts ...Option) (C
 	if err != nil {
 		return CascadeResult{}, err
 	}
+	gen.SetSources(opts.Defense.Sources)
 	ex := newExec(execOpts)
 
 	res := CascadeResult{Epochs: make([]CascadeEpochReport, 0, opts.Epochs)}
+	// The guard wraps only the WRITE path: the oracle and the structural
+	// accounting keep reading the concrete gapped-array index.
+	res.Defense.Enabled = opts.Defense.Enabled()
+	vWriter, vGuard := opts.Defense.wrap(victim)
+	cWriter, cGuard := opts.Defense.wrap(clean)
+	vArm := opts.Defense.newArm(vWriter, vGuard, &res.Defense, false)
+	cArm := opts.Defense.newArm(cWriter, cGuard, &res.Defense, true)
+	atkSrc := opts.Defense.attackerSource()
+	opClock := 0
 	var allPoison []int64
 	for e := 0; e < opts.Epochs; e++ {
 		if err := ex.ctx.Err(); err != nil {
@@ -282,7 +307,8 @@ func CascadeAttack(initial keys.Set, opts CascadeOptions, execOpts ...Option) (C
 
 		// 2. Serve: honest ops with the poison drip interleaved.
 		inject := func() {
-			if ok, _ := victim.Insert(poison[0]); ok {
+			opClock++
+			if ok, _ := vArm.insert(poison[0], atkSrc, opClock, true); ok {
 				allPoison = append(allPoison, poison[0])
 				rep.Injected++
 			}
@@ -292,6 +318,7 @@ func CascadeAttack(initial keys.Set, opts CascadeOptions, execOpts ...Option) (C
 			for len(poison) > 0 && rep.Injected*opts.OpsPerEpoch <= op*opts.EpochBudget {
 				inject()
 			}
+			opClock++
 			o := gen.Next()
 			if o.Read {
 				rep.Reads++
@@ -300,8 +327,8 @@ func CascadeAttack(initial keys.Set, opts CascadeOptions, execOpts ...Option) (C
 				continue
 			}
 			rep.Writes++
-			clean.Insert(o.Key)
-			victim.Insert(o.Key)
+			cArm.insert(o.Key, o.Source, opClock, false)
+			vArm.insert(o.Key, o.Source, opClock, false)
 		}
 		for len(poison) > 0 { // leftover drip (OpsPerEpoch == 0 or rounding)
 			inject()

@@ -49,6 +49,12 @@ type ChurnOptions struct {
 	// stale windows, no publish latency — the scenario still runs and its
 	// stale columns read zero (TestChurnZeroCostDegenerates).
 	Cost index.CostModel
+	// Defense arms the defense plane (guard chain, robust fitter, rate
+	// limiting) on victim and clean twin alike; the zero value changes
+	// nothing (see DefenseSpec). Rate limiting is the churn-native defense:
+	// the attacker needs SUSTAINED write pressure into one shard, which a
+	// per-source budget prices directly.
+	Defense DefenseSpec
 }
 
 func (o ChurnOptions) domain(initial keys.Set) int64 {
@@ -133,6 +139,8 @@ type ChurnResult struct {
 	// VictimChurn / CleanChurn are the pipelines' final accounting.
 	VictimChurn index.ChurnStats
 	CleanChurn  index.ChurnStats
+	// Defense is the defense-plane accounting (zero when no defense armed).
+	Defense DefenseReport
 }
 
 // FinalRatio returns the last epoch's aggregate loss ratio.
@@ -233,11 +241,11 @@ func ChurnAttack(initial keys.Set, opts ChurnOptions, execOpts ...Option) (Churn
 	if err := opts.validate(); err != nil {
 		return ChurnResult{}, err
 	}
-	vShard, err := shard.New(initial, opts.Shards, opts.Policy)
+	vShard, err := shard.NewWithFit(initial, opts.Shards, opts.Policy, opts.Defense.fitFunc())
 	if err != nil {
 		return ChurnResult{}, err
 	}
-	cShard, err := shard.New(initial, opts.Shards, opts.Policy)
+	cShard, err := shard.NewWithFit(initial, opts.Shards, opts.Policy, opts.Defense.fitFunc())
 	if err != nil {
 		return ChurnResult{}, err
 	}
@@ -245,15 +253,24 @@ func ChurnAttack(initial keys.Set, opts ChurnOptions, execOpts ...Option) (Churn
 	if err != nil {
 		return ChurnResult{}, err
 	}
+	gen.SetSources(opts.Defense.Sources)
+	vBack, vGuard := opts.Defense.wrap(vShard)
+	cBack, cGuard := opts.Defense.wrap(cShard)
 	ex := newExec(execOpts)
-	victim := index.NewPipeline(vShard, opts.Cost).WithPool(ex.ctx, ex.pool)
-	clean := index.NewPipeline(cShard, opts.Cost).WithPool(ex.ctx, ex.pool)
+	victim := index.NewPipeline(vBack, opts.Cost).WithPool(ex.ctx, ex.pool)
+	clean := index.NewPipeline(cBack, opts.Cost).WithPool(ex.ctx, ex.pool)
+	opClock := 0
 	tick := func(n int) {
+		opClock += n
 		victim.Tick(n)
 		clean.Tick(n)
 	}
 
 	res := ChurnResult{Shards: opts.Shards, Epochs: make([]ChurnEpochReport, 0, opts.Epochs)}
+	res.Defense.Enabled = opts.Defense.Enabled()
+	vArm := opts.Defense.newArm(victim, vGuard, &res.Defense, false)
+	cArm := opts.Defense.newArm(clean, cGuard, &res.Defense, true)
+	atkSrc := opts.Defense.attackerSource()
 	var allPoison []int64
 	for e := 0; e < opts.Epochs; e++ {
 		if err := ex.ctx.Err(); err != nil {
@@ -275,7 +292,7 @@ func ChurnAttack(initial keys.Set, opts ChurnOptions, execOpts ...Option) (Churn
 		// 2. Serve the epoch: honest ops with the poison drip interleaved.
 		inject := func() {
 			tick(1)
-			if ok, _ := victim.Insert(poison[0]); ok {
+			if ok, _ := vArm.insert(poison[0], atkSrc, opClock, true); ok {
 				allPoison = append(allPoison, poison[0])
 				rep.Injected++
 			}
@@ -302,8 +319,8 @@ func ChurnAttack(initial keys.Set, opts ChurnOptions, execOpts ...Option) (Churn
 				continue
 			}
 			rep.Writes++
-			clean.Insert(o.Key)
-			victim.Insert(o.Key)
+			cArm.insert(o.Key, o.Source, opClock, false)
+			vArm.insert(o.Key, o.Source, opClock, false)
 		}
 		for len(poison) > 0 { // leftover drip (OpsPerEpoch == 0 or rounding)
 			inject()

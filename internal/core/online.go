@@ -82,6 +82,12 @@ type OnlineOptions struct {
 	// Policy (Manual) every backend gets the one-retrain-per-epoch
 	// maintenance cycle, which is a no-op for model-free backends.
 	Backend BackendFactory
+	// Defense arms the defense plane on victim and clean twin alike; the
+	// zero value changes nothing (see DefenseSpec). The Fitter reaches only
+	// the DEFAULT dynamic-index construction — a custom Backend factory
+	// composes its own fitter — while the guard chain and rate limiter wrap
+	// whatever the factory builds.
+	Defense DefenseSpec
 }
 
 func (o OnlineOptions) epochs() int {
@@ -145,6 +151,8 @@ type OnlineResult struct {
 	Poison keys.Set
 	// Retrains is the victim's total completed retrain count.
 	Retrains int
+	// Defense is the defense-plane accounting (zero when no defense armed).
+	Defense DefenseReport
 }
 
 // FinalRatio returns the last epoch's loss ratio — the scenario's headline.
@@ -288,7 +296,7 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 	factory := opts.Backend
 	if factory == nil {
 		factory = func(ks keys.Set) (index.Backend, error) {
-			return dynamic.New(ks, opts.Policy)
+			return dynamic.NewWithFit(ks, opts.Policy, opts.Defense.fitFunc())
 		}
 	}
 	victim, err := factory(initial)
@@ -299,15 +307,25 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 	if err != nil {
 		return OnlineResult{}, err
 	}
+	vBack, vGuard := opts.Defense.wrap(victim)
+	cBack, cGuard := opts.Defense.wrap(clean)
 	st := &onlineState{
-		victim: victim,
-		clean:  clean,
+		victim: vBack,
+		clean:  cBack,
 		legit:  append([]int64(nil), initial.Keys()...),
 		ex:     newExec(execOpts),
 	}
 
 	epochs := opts.epochs()
 	res := OnlineResult{Epochs: make([]EpochReport, 0, epochs)}
+	res.Defense.Enabled = opts.Defense.Enabled()
+	vArm := opts.Defense.newArm(vBack, vGuard, &res.Defense, false)
+	cArm := opts.Defense.newArm(cBack, cGuard, &res.Defense, true)
+	atkSrc := opts.Defense.attackerSource()
+	// The online scenario has no workload generator, so honest sources
+	// rotate over a plain arrival counter; the op clock counts every write
+	// attempt on the victim's side of the stream.
+	honestSeen, opClock := 0, 0
 	var allPoison []int64
 	displaced := 0
 	for e := 0; e < epochs; e++ {
@@ -319,8 +337,14 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 		// displaced an honest one.
 		if e < len(opts.Arrivals) {
 			for _, k := range opts.Arrivals[e] {
-				cleanOK, _ := st.clean.Insert(k)
-				victimOK, _ := st.victim.Insert(k)
+				src := 0
+				if opts.Defense.Sources > 1 {
+					src = honestSeen % opts.Defense.Sources
+				}
+				honestSeen++
+				opClock++
+				cleanOK, _ := cArm.insert(k, src, opClock, false)
+				victimOK, _ := vArm.insert(k, src, opClock, false)
 				if cleanOK {
 					st.legit = append(st.legit, k)
 					if !victimOK {
@@ -337,7 +361,8 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 				return OnlineResult{}, err
 			}
 			for _, k := range poison {
-				if ok, _ := st.victim.Insert(k); ok {
+				opClock++
+				if ok, _ := vArm.insert(k, atkSrc, opClock, true); ok {
 					allPoison = append(allPoison, k)
 					injected++
 				}

@@ -47,6 +47,10 @@ type ServeOptions struct {
 	// loss columns keep reporting live content — staleness shows up as the
 	// gap between them.
 	RebuildCost index.CostModel
+	// Defense arms the defense plane (guard chain, robust fitter, rate
+	// limiting) on victim and clean twin alike; the zero value changes
+	// nothing (see DefenseSpec).
+	Defense DefenseSpec
 }
 
 func (o ServeOptions) domain(initial keys.Set) int64 {
@@ -147,6 +151,8 @@ type ServeResult struct {
 	// trigger/publish counters).
 	VictimChurn index.ChurnStats
 	CleanChurn  index.ChurnStats
+	// Defense is the defense-plane accounting (zero when no defense armed).
+	Defense DefenseReport
 }
 
 // FinalRatio returns the last epoch's aggregate loss ratio.
@@ -223,11 +229,11 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 	if err := opts.validate(); err != nil {
 		return ServeResult{}, err
 	}
-	vShard, err := shard.New(initial, opts.Shards, opts.Policy)
+	vShard, err := shard.NewWithFit(initial, opts.Shards, opts.Policy, opts.Defense.fitFunc())
 	if err != nil {
 		return ServeResult{}, err
 	}
-	cShard, err := shard.New(initial, opts.Shards, opts.Policy)
+	cShard, err := shard.NewWithFit(initial, opts.Shards, opts.Policy, opts.Defense.fitFunc())
 	if err != nil {
 		return ServeResult{}, err
 	}
@@ -235,15 +241,24 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 	if err != nil {
 		return ServeResult{}, err
 	}
+	gen.SetSources(opts.Defense.Sources)
+	vBack, vGuard := opts.Defense.wrap(vShard)
+	cBack, cGuard := opts.Defense.wrap(cShard)
 	ex := newExec(execOpts)
-	victim := index.NewPipeline(vShard, opts.RebuildCost).WithPool(ex.ctx, ex.pool)
-	clean := index.NewPipeline(cShard, opts.RebuildCost).WithPool(ex.ctx, ex.pool)
+	victim := index.NewPipeline(vBack, opts.RebuildCost).WithPool(ex.ctx, ex.pool)
+	clean := index.NewPipeline(cBack, opts.RebuildCost).WithPool(ex.ctx, ex.pool)
+	opClock := 0
 	tick := func(n int) {
+		opClock += n
 		victim.Tick(n)
 		clean.Tick(n)
 	}
 
 	res := ServeResult{Shards: opts.Shards, Epochs: make([]ServeEpochReport, 0, opts.Epochs)}
+	res.Defense.Enabled = opts.Defense.Enabled()
+	vArm := opts.Defense.newArm(victim, vGuard, &res.Defense, false)
+	cArm := opts.Defense.newArm(clean, cGuard, &res.Defense, true)
+	atkSrc := opts.Defense.attackerSource()
 	var allPoison []int64
 	displaced := 0
 	for e := 0; e < opts.Epochs; e++ {
@@ -262,8 +277,8 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 				continue
 			}
 			rep.Writes++
-			cleanOK, _ := clean.Insert(op.Key)
-			victimOK, _ := victim.Insert(op.Key)
+			cleanOK, _ := cArm.insert(op.Key, op.Source, opClock, false)
+			victimOK, _ := vArm.insert(op.Key, op.Source, opClock, false)
 			if cleanOK && !victimOK {
 				displaced++
 			}
@@ -278,7 +293,7 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 			}
 			for _, k := range g.Poison {
 				tick(1)
-				if ok, _ := victim.Insert(k); ok {
+				if ok, _ := vArm.insert(k, atkSrc, opClock, true); ok {
 					allPoison = append(allPoison, k)
 					rep.Injected++
 				}

@@ -1,0 +1,199 @@
+package core
+
+// The static (one-shot) attack as a defense-aware SCENARIO: the paper's
+// Algorithm 1 computed once against the initial key set, drip-fed into a
+// live dynamic index through the defense plane, with an honest write stream
+// interleaved. GreedyMultiPoint is the raw oracle; StaticAttack is what the
+// Pareto sweep drives, because a defense only means something on a write
+// path — a detector chain, rate limiter, or robust fitter all act between
+// the attacker's computed keys and the victim's model.
+
+import (
+	"fmt"
+
+	"cdfpoison/internal/dynamic"
+	"cdfpoison/internal/engine"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/workload"
+)
+
+// StaticOptions parameterizes the static poisoning scenario.
+type StaticOptions struct {
+	// Budget is the attacker's one-shot poison budget (>= 0), computed by
+	// Algorithm 1 against the initial key set.
+	Budget int
+	// HonestWrites is the number of honest uniform writes interleaved with
+	// the poison drip (>= 0).
+	HonestWrites int
+	// Domain is the write-key universe size; 0 defaults to twice the
+	// initial key span.
+	Domain int64
+	// Seed drives the honest write stream.
+	Seed uint64
+	// Defense arms the defense plane on victim and clean twin alike; the
+	// zero value changes nothing (see DefenseSpec). The static-native
+	// mechanisms are the detector chain (Algorithm 1 piles poison into
+	// dense regions the density and dup-mass screens price up) and the
+	// robust fitter (a trimmed or Theil–Sen retrain simply refuses to chase
+	// the poison mass).
+	Defense DefenseSpec
+}
+
+func (o StaticOptions) domain(initial keys.Set) int64 {
+	if o.Domain > 0 {
+		return o.Domain
+	}
+	return 2 * (initial.Max() + 1)
+}
+
+func (o StaticOptions) validate() error {
+	if o.Budget < 0 {
+		return fmt.Errorf("core: negative static budget %d", o.Budget)
+	}
+	if o.HonestWrites < 0 {
+		return fmt.Errorf("core: negative honest write count %d", o.HonestWrites)
+	}
+	return nil
+}
+
+// StaticResult reports the static poisoning scenario.
+type StaticResult struct {
+	// Poison is the set of accepted poison keys; Injected its size.
+	Poison   keys.Set
+	Injected int
+	// Displaced counts honest writes the victim rejected because poison
+	// occupied the slot.
+	Displaced int
+	// Model-vs-content loss after the final retrain, and the victim/clean
+	// ratio — the headline damage number.
+	CleanLoss, PoisonedLoss float64
+	RatioLoss               float64
+	// Mean lookup probes over the initial keys on both indexes.
+	CleanProbes, PoisonedProbes float64
+	ProbeRatio                  float64
+	// Defense is the defense-plane accounting (zero when no defense armed).
+	Defense DefenseReport
+}
+
+// StaticAttack mounts the one-shot poisoning scenario: Algorithm 1's keys
+// against the INITIAL content, drip-fed evenly through HonestWrites honest
+// uniform writes into a dynamic index (victim), with a clean counterfactual
+// absorbing the identical honest stream. Both indexes retrain once at the
+// end (the static maintenance cycle), then loss and probe columns are
+// measured. The defense plane — detector chain, rate limiter, robust
+// fitter — sits on both write paths exactly as in the online scenarios.
+//
+// Determinism contract: the honest stream is a pure function of
+// (initial, Domain, Seed); WithWorkers parallelism reaches only the
+// oracle's candidate scans and the probe evaluation, both folding in index
+// order, so any worker count produces identical bytes
+// (TestStaticWorkerEquivalence). WithCancellation aborts via ctx.Err().
+func StaticAttack(initial keys.Set, opts StaticOptions, execOpts ...Option) (StaticResult, error) {
+	if err := opts.validate(); err != nil {
+		return StaticResult{}, err
+	}
+	if initial.Len() < 2 {
+		return StaticResult{}, ErrTooFew
+	}
+	fit := opts.Defense.fitFunc()
+	victim, err := dynamic.NewWithFit(initial, dynamic.ManualPolicy(), fit)
+	if err != nil {
+		return StaticResult{}, err
+	}
+	clean, err := dynamic.NewWithFit(initial, dynamic.ManualPolicy(), fit)
+	if err != nil {
+		return StaticResult{}, err
+	}
+	gen, err := workload.NewGenerator(workload.NewUniform(0), initial, opts.domain(initial), opts.Seed)
+	if err != nil {
+		return StaticResult{}, err
+	}
+	gen.SetSources(opts.Defense.Sources)
+	ex := newExec(execOpts)
+
+	var res StaticResult
+	res.Defense.Enabled = opts.Defense.Enabled()
+	vBack, vGuard := opts.Defense.wrap(victim)
+	cBack, cGuard := opts.Defense.wrap(clean)
+	vArm := opts.Defense.newArm(vBack, vGuard, &res.Defense, false)
+	cArm := opts.Defense.newArm(cBack, cGuard, &res.Defense, true)
+	atkSrc := opts.Defense.attackerSource()
+
+	var poison []int64
+	if opts.Budget > 0 {
+		g, err := GreedyMultiPoint(initial, opts.Budget, execOpts...)
+		if err != nil {
+			return StaticResult{}, err
+		}
+		poison = g.Poison
+	}
+
+	// Drip the budget evenly through the honest stream, as in the churn and
+	// cascade scenarios; leftovers land after the stream ends.
+	var accepted []int64
+	opClock := 0
+	inject := func() {
+		opClock++
+		if ok, _ := vArm.insert(poison[0], atkSrc, opClock, true); ok {
+			accepted = append(accepted, poison[0])
+			res.Injected++
+		}
+		poison = poison[1:]
+	}
+	for op := 0; op < opts.HonestWrites; op++ {
+		for len(poison) > 0 && res.Injected*opts.HonestWrites <= op*opts.Budget {
+			inject()
+		}
+		if err := ex.ctx.Err(); err != nil {
+			return StaticResult{}, err
+		}
+		opClock++
+		o := gen.Next()
+		cleanOK, _ := cArm.insert(o.Key, o.Source, opClock, false)
+		victimOK, _ := vArm.insert(o.Key, o.Source, opClock, false)
+		if cleanOK && !victimOK {
+			res.Displaced++
+		}
+	}
+	for len(poison) > 0 {
+		inject()
+	}
+
+	vBack.Retrain()
+	cBack.Retrain()
+
+	vStats, cStats := vBack.Stats(), cBack.Stats()
+	res.CleanLoss = cStats.ContentLoss
+	res.PoisonedLoss = vStats.ContentLoss
+	res.RatioLoss = SafeRatio(res.PoisonedLoss, res.CleanLoss)
+
+	legit := initial.Keys()
+	n := len(legit)
+	grain := engine.GrainForMin(n, ex.pool, endpointGrainFloor)
+	chunks, err := engine.MapChunks(ex.ctx, ex.pool, n, grain,
+		func(lo, hi int) (probeAgg, error) {
+			var a probeAgg
+			a.clean, _ = cBack.ProbeSum(legit[lo:hi])
+			a.victim, _ = vBack.ProbeSum(legit[lo:hi])
+			return a, nil
+		})
+	if err != nil {
+		return StaticResult{}, err
+	}
+	var total probeAgg
+	for _, a := range chunks {
+		total.clean += a.clean
+		total.victim += a.victim
+	}
+	if n > 0 {
+		res.CleanProbes = float64(total.clean) / float64(n)
+		res.PoisonedProbes = float64(total.victim) / float64(n)
+		res.ProbeRatio = SafeRatio(res.PoisonedProbes, res.CleanProbes)
+	}
+	ps, err := keys.NewStrict(accepted)
+	if err != nil {
+		return StaticResult{}, fmt.Errorf("core: static poison keys collide: %w", err)
+	}
+	res.Poison = ps
+	return res, nil
+}

@@ -1,4 +1,4 @@
-package defense
+package defense_test
 
 import (
 	"errors"
@@ -6,6 +6,7 @@ import (
 
 	"cdfpoison/internal/core"
 	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/defense"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/xrand"
 )
@@ -13,8 +14,8 @@ import (
 func TestTrimValidation(t *testing.T) {
 	ks, _ := keys.New([]int64{1, 2, 3, 4, 5})
 	for _, c := range []int{0, 1, 6, -1} {
-		if _, err := TrimCDF(ks, c, TrimOptions{}); !errors.Is(err, ErrBadCount) {
-			t.Errorf("cleanCount=%d: want ErrBadCount, got %v", c, err)
+		if _, err := defense.TrimCDF(ks, c, defense.TrimOptions{}); !errors.Is(err, defense.ErrBadCount) {
+			t.Errorf("cleanCount=%d: want defense.ErrBadCount, got %v", c, err)
 		}
 	}
 }
@@ -29,7 +30,7 @@ func TestTrimKeepsRequestedCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TrimCDF(g.Poisoned, 200, TrimOptions{})
+	res, err := defense.TrimCDF(g.Poisoned, 200, defense.TrimOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestTrimRecoversNaiveMidRangeCluster(t *testing.T) {
 	}
 	poisonSet, _ := keys.New(poison)
 	all := clean.Union(poisonSet)
-	res, err := TrimCDF(all, clean.Len(), TrimOptions{Restarts: 4, Seed: 3})
+	res, err := defense.TrimCDF(all, clean.Len(), defense.TrimOptions{Restarts: 4, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := Evaluate(clean, poisonSet, res.Removed, res.Kept)
+	ev, err := defense.Evaluate(clean, poisonSet, res.Removed, res.Kept)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestTrimLeverageLimitation(t *testing.T) {
 	}
 	poisonSet, _ := keys.New(poison)
 	all := clean.Union(poisonSet)
-	res, err := TrimCDF(all, clean.Len(), TrimOptions{Restarts: 2, Seed: 5})
+	res, err := defense.TrimCDF(all, clean.Len(), defense.TrimOptions{Restarts: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := Evaluate(clean, poisonSet, res.Removed, res.Kept)
+	ev, err := defense.Evaluate(clean, poisonSet, res.Removed, res.Kept)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestTrimLeverageLimitation(t *testing.T) {
 	}
 	// The same block is trivially caught by quantile-based range filtering.
 	lo, hi := clean.At(0), clean.At(clean.Len()-1)
-	_, removed := RangeFilter(all, lo, hi)
+	_, removed := defense.RangeFilter(all, lo, hi)
 	if removed.Len() != poisonSet.Len() {
 		t.Fatalf("range filter caught %d of %d far-block keys", removed.Len(), poisonSet.Len())
 	}
@@ -129,11 +130,11 @@ func TestTrimStrugglesAgainstCDFAttack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TrimCDF(g.Poisoned, 300, TrimOptions{Restarts: 2, Seed: 7})
+	res, err := defense.TrimCDF(g.Poisoned, 300, defense.TrimOptions{Restarts: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := Evaluate(clean, poisonOf(t, g), res.Removed, res.Kept)
+	ev, err := defense.Evaluate(clean, poisonOf(t, g), res.Removed, res.Kept)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +161,11 @@ func TestTrimDeterministicWithoutRestarts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := TrimCDF(g.Poisoned, 100, TrimOptions{})
+	a, err := defense.TrimCDF(g.Poisoned, 100, defense.TrimOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TrimCDF(g.Poisoned, 100, TrimOptions{})
+	b, err := defense.TrimCDF(g.Poisoned, 100, defense.TrimOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestTrimDeterministicWithoutRestarts(t *testing.T) {
 
 func TestRangeFilter(t *testing.T) {
 	ks, _ := keys.New([]int64{1, 5, 10, 50, 100})
-	kept, removed := RangeFilter(ks, 5, 50)
+	kept, removed := defense.RangeFilter(ks, 5, 50)
 	if kept.Len() != 3 || removed.Len() != 2 {
 		t.Fatalf("kept %d removed %d", kept.Len(), removed.Len())
 	}
@@ -190,7 +191,7 @@ func TestRangeFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rm := RangeFilter(g.Poisoned, clean.Min(), clean.Max())
+	_, rm := defense.RangeFilter(g.Poisoned, clean.Min(), clean.Max())
 	if rm.Len() != 0 {
 		t.Fatalf("range filter caught %d in-range poison keys", rm.Len())
 	}
@@ -198,11 +199,11 @@ func TestRangeFilter(t *testing.T) {
 
 func TestDensityFlaggerDegenerate(t *testing.T) {
 	tiny, _ := keys.New([]int64{1, 2})
-	if got := DensityFlagger(tiny, 2, 2); got.Len() != 0 {
+	if got := defense.DensityFlagger(tiny, 2, 2); got.Len() != 0 {
 		t.Fatal("flagged keys in a 2-key set")
 	}
 	ks, _ := keys.New([]int64{1, 2, 3, 4, 5})
-	if got := DensityFlagger(ks, 0, 2); got.Len() != 0 {
+	if got := defense.DensityFlagger(ks, 0, 2); got.Len() != 0 {
 		t.Fatal("window 0 flagged keys")
 	}
 }
@@ -218,7 +219,7 @@ func TestDensityFlaggerFindsPlantedCluster(t *testing.T) {
 		raw = append(raw, 50_500+i) // tight cluster between background keys
 	}
 	ks, _ := keys.New(raw)
-	flagged := DensityFlagger(ks, 3, 2)
+	flagged := defense.DensityFlagger(ks, 3, 2)
 	if flagged.Len() == 0 {
 		t.Fatal("planted cluster not flagged")
 	}
@@ -238,7 +239,7 @@ func TestEvaluateCounts(t *testing.T) {
 	poison, _ := keys.New([]int64{10, 11})
 	flagged, _ := keys.New([]int64{10, 5}) // one hit, one false positive
 	kept, _ := keys.New([]int64{1, 2, 3, 4, 6, 7, 8, 11})
-	ev, err := Evaluate(clean, poison, flagged, kept)
+	ev, err := defense.Evaluate(clean, poison, flagged, kept)
 	if err != nil {
 		t.Fatal(err)
 	}

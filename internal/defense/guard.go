@@ -20,12 +20,18 @@ var _ index.Backend = (*Guard)(nil)
 // GuardOptions tunes NewGuard.
 type GuardOptions struct {
 	// Window is the rank half-width of the neighbourhood inspected around
-	// each candidate insert; default 8.
+	// each candidate insert; default 8. Used only when Policies is nil.
 	Window int
 	// Ratio is the density multiple above which an insert is rejected: a
 	// key is refused when its window's local key density exceeds Ratio
-	// times the backend's global density. Default 4.
+	// times the backend's global density. Default 4. Used only when
+	// Policies is nil.
 	Ratio float64
+	// Policies is the detector chain the guard screens inserts with; any
+	// policy flagging a key rejects it. nil selects the single density
+	// screen built from Window and Ratio (the historical Guard behavior);
+	// an explicit empty, non-nil chain screens nothing.
+	Policies []Policy
 }
 
 func (o *GuardOptions) fill() {
@@ -34,6 +40,9 @@ func (o *GuardOptions) fill() {
 	}
 	if o.Ratio <= 0 {
 		o.Ratio = 4
+	}
+	if o.Policies == nil {
+		o.Policies = []Policy{DensityPolicy{Window: o.Window, Ratio: o.Ratio}}
 	}
 }
 
@@ -54,74 +63,49 @@ func (o *GuardOptions) fill() {
 // must go through the Guard's Insert/Retrain (mutating the inner backend
 // directly would stale the guard's content cache).
 type Guard struct {
-	backend index.Backend
-	opts    GuardOptions
-	flagged int
-	// content caches backend.Keys() between mutations so the density
-	// screen costs O(log n) per offered insert instead of re-materializing
-	// the full content (O(n)) every time — a poison storm is exactly many
-	// rejected inserts in a row against unchanged content.
-	content      keys.Set
+	backend  index.Backend
+	policies []Policy
+	flagged  int
+	// content caches backend.Keys() (plus the lazily built loss oracle)
+	// between mutations so the policy chain costs O(log n) per offered
+	// insert instead of re-materializing the full content (O(n)) every time
+	// — a poison storm is exactly many rejected inserts in a row against
+	// unchanged content.
+	content      *Content
 	contentValid bool
 }
 
-// NewGuard wraps a backend with the density screen.
+// NewGuard wraps a backend with the detector chain (the single density
+// screen by default; see GuardOptions.Policies).
 func NewGuard(b index.Backend, opts GuardOptions) *Guard {
 	opts.fill()
-	return &Guard{backend: b, opts: opts}
+	return &Guard{backend: b, policies: opts.Policies}
 }
 
-// Flagged returns how many inserts the guard has rejected.
+// Flagged returns how many inserts the guard has rejected. The count is
+// cumulative over the guard's lifetime — Retrain does not reset it — and is
+// also surfaced as Stats().Flagged so sweeps read it without unwrapping.
 func (g *Guard) Flagged() int { return g.flagged }
+
+// Policies returns the guard's detector chain.
+func (g *Guard) Policies() []Policy { return g.policies }
 
 // Unwrap returns the guarded backend.
 func (g *Guard) Unwrap() index.Backend { return g.backend }
 
-// suspicious implements the density screen: each SIDE of the candidate's
-// would-be position is measured against the global key density, and the
-// denser side decides. One-sided windows matter because the greedy attack
-// grows its poison run edge-outward — a centered window always straddles
-// the wide gap beyond the run's edge and averages the cluster away, while
-// the run-side window is pure cluster.
+// suspicious refreshes the content cache and runs the policy chain; any
+// policy flagging k rejects it.
 func (g *Guard) suspicious(k int64) bool {
 	if !g.contentValid {
-		g.content = g.backend.Keys()
+		g.content = NewContent(g.backend.Keys())
 		g.contentValid = true
 	}
-	content := g.content
-	n := content.Len()
-	if n < 3 {
-		return false
-	}
-	span := content.Max() - content.Min()
-	if span <= 0 {
-		return false
-	}
-	global := float64(n) / float64(span)
-	pos := content.CountLess(k) // 0-based insertion index
-	side := func(lo, hi int) float64 {
-		if lo < 0 {
-			lo = 0
+	for _, p := range g.policies {
+		if p.Suspicious(g.content, k) {
+			return true
 		}
-		if hi > n-1 {
-			hi = n - 1
-		}
-		if hi <= lo {
-			return 0
-		}
-		width := content.At(hi) - content.At(lo)
-		if width <= 0 {
-			width = 1
-		}
-		return float64(hi-lo) / float64(width)
 	}
-	left := side(pos-g.opts.Window, pos-1)  // the Window keys below k
-	right := side(pos, pos-1+g.opts.Window) // the Window keys at/above k
-	density := left
-	if right > density {
-		density = right
-	}
-	return density > g.opts.Ratio*global
+	return false
 }
 
 // Insert screens k and forwards it only when its neighbourhood density is
@@ -182,9 +166,17 @@ func (g *Guard) RetrainPossible() bool {
 	}
 	return true
 }
-func (g *Guard) Len() int           { return g.backend.Len() }
-func (g *Guard) Keys() keys.Set     { return g.backend.Keys() }
-func (g *Guard) Stats() index.Stats { return g.backend.Stats() }
+func (g *Guard) Len() int       { return g.backend.Len() }
+func (g *Guard) Keys() keys.Set { return g.backend.Keys() }
+
+// Stats reports the wrapped backend's summary with the guard's cumulative
+// rejected-insert count in Flagged (index.Stats) — the defense-effect
+// reading the Pareto sweeps consume. Flagged survives Retrain.
+func (g *Guard) Stats() index.Stats {
+	st := g.backend.Stats()
+	st.Flagged = g.flagged
+	return st
+}
 
 // Snapshot hands out the wrapped backend's snapshot unchanged: the guard
 // screens writes, so its read plane IS the backend's read plane.

@@ -107,6 +107,107 @@ func TestGuardScreensDensePoison(t *testing.T) {
 	}
 }
 
+// TestGuardFlaggedInStats: the cumulative rejected-insert count is surfaced
+// through the uniform index.Stats plane (no Unwrap needed) and survives
+// Retrain — the accounting contract the Pareto sweeps read.
+func TestGuardFlaggedInStats(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(41), 300, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := dynamic.New(ks, dynamic.ManualPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := defense.NewGuard(inner, defense.GuardOptions{Window: 8, Ratio: 3})
+	atk, err := core.GreedyMultiPoint(ks, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range atk.Poison {
+		g.Insert(k)
+	}
+	if g.Flagged() == 0 {
+		t.Fatal("no rejects to account for — fixture too weak")
+	}
+	if got := g.Stats().Flagged; got != g.Flagged() {
+		t.Fatalf("Stats().Flagged = %d, Flagged() = %d", got, g.Flagged())
+	}
+	before := g.Flagged()
+	g.Retrain()
+	if got := g.Stats().Flagged; got != before {
+		t.Fatalf("Retrain reset Flagged: %d -> %d (must be cumulative)", before, got)
+	}
+	// A second retrain round with more rejects keeps accumulating.
+	for _, k := range atk.Poison {
+		g.Insert(k + 1)
+	}
+	g.Retrain()
+	if got := g.Stats().Flagged; got < before {
+		t.Fatalf("Flagged went backwards across retrains: %d -> %d", before, got)
+	}
+	// Bare backends always report 0.
+	if st := inner.Stats(); st.Flagged != 0 {
+		t.Fatalf("bare backend reports Flagged = %d", st.Flagged)
+	}
+}
+
+// TestGuardPolicyChain: a guard built with an explicit multi-detector chain
+// ORs the policies — a key any detector flags is rejected, mid-gap honest
+// keys pass — and an explicit empty chain screens nothing.
+func TestGuardPolicyChain(t *testing.T) {
+	base := make([]int64, 100)
+	for i := range base {
+		base[i] = int64(i+1) * 100
+	}
+	ks, err := keys.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ps []defense.Policy) *defense.Guard {
+		inner, err := dynamic.New(ks, dynamic.ManualPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return defense.NewGuard(inner, defense.GuardOptions{Policies: ps})
+	}
+
+	g := mk([]defense.Policy{
+		defense.DupMassPolicy{Window: 3, Count: 3},
+		defense.GapOutlierPolicy{Ratio: 8},
+	})
+	// Gap-edge key: dupmass abstains, gapout flags it.
+	if ok, _ := g.Insert(5001); ok {
+		t.Fatal("gap-edge key passed a chain containing gapout")
+	}
+	// Mid-gap key passes both detectors.
+	if ok, _ := g.Insert(5050); !ok {
+		t.Fatal("mid-gap honest key rejected by the chain")
+	}
+	// Keys adjacent to the just-accepted 5050 are gap-edge relative to it,
+	// so the chain (via gapout) prices up an attacker trying to grow an
+	// adjacent run — each attempt is one more reject, OR semantics.
+	for _, k := range []int64{5051, 5052, 5053} {
+		if ok, _ := g.Insert(k); ok {
+			t.Fatalf("adjacent-run key %d passed the chain", k)
+		}
+	}
+	if g.Flagged() != 4 {
+		t.Fatalf("Flagged = %d, want 4", g.Flagged())
+	}
+
+	// Explicit empty (non-nil) chain: everything passes, nothing is flagged.
+	open := mk([]defense.Policy{})
+	for _, k := range []int64{5001, 5050, 5051, 5052, 5053} {
+		if ok, _ := open.Insert(k); !ok {
+			t.Fatalf("empty chain rejected %d", k)
+		}
+	}
+	if open.Flagged() != 0 {
+		t.Fatalf("empty chain flagged %d inserts", open.Flagged())
+	}
+}
+
 // TestGuardUnderOnlineScenario: the guard rides core.OnlinePoisonAttack as
 // the victim factory — the composition the backend interface exists for —
 // and must reduce the attack's final damage relative to the bare index.

@@ -152,8 +152,17 @@ var _ index.Snapshot = (*view)(nil)
 // Index is an updatable learned index: base set + model + delta buffer.
 // It is NOT safe for concurrent mutation; the online attack drives it from
 // a single goroutine and parallelizes only pure reads.
+// FitFunc is a pluggable CDF trainer: given the base set, produce the model
+// lookups will navigate by. nil means regression.FitCDF — the exact
+// least-squares fit the paper attacks. internal/robust provides
+// poisoning-resistant implementations (Theil–Sen, trimmed least squares);
+// the defense plane threads them in through NewWithFit (DESIGN.md §10).
+type FitFunc func(keys.Set) (regression.Model, error)
+
 type Index struct {
 	policy RetrainPolicy
+	// fitFn is the pluggable trainer; nil selects regression.FitCDF.
+	fitFn FitFunc
 
 	v view
 	// bufShared marks the buffer slice as aliased by a handed-out snapshot:
@@ -171,13 +180,23 @@ type Index struct {
 // New builds an index over the initial key set (>= 2 keys) and trains the
 // first model. The initial fit does not count as a retrain.
 func New(initial keys.Set, policy RetrainPolicy) (*Index, error) {
+	return NewWithFit(initial, policy, nil)
+}
+
+// NewWithFit is New with a pluggable trainer: every (re)fit — the initial
+// one and every policy or explicit retrain — goes through fit instead of
+// regression.FitCDF. The error envelope is still recorded over the FULL
+// base against the returned model, so lookups stay exact no matter which
+// keys the trainer chose to down-weight or ignore. A nil fit selects
+// regression.FitCDF (byte-identical to New).
+func NewWithFit(initial keys.Set, policy RetrainPolicy, fit FitFunc) (*Index, error) {
 	if err := policy.validate(); err != nil {
 		return nil, err
 	}
 	if initial.Len() < 2 {
 		return nil, ErrTooFew
 	}
-	x := &Index{policy: policy}
+	x := &Index{policy: policy, fitFn: fit}
 	if err := x.fit(initial); err != nil {
 		return nil, err
 	}
@@ -188,7 +207,11 @@ func New(initial keys.Set, policy RetrainPolicy) (*Index, error) {
 // out snapshots are unaffected: they copied the view value, and fit only
 // reassigns the live index's fields.
 func (x *Index) fit(base keys.Set) error {
-	m, err := regression.FitCDF(base)
+	train := x.fitFn
+	if train == nil {
+		train = regression.FitCDF
+	}
+	m, err := train(base)
 	if err != nil {
 		return err
 	}

@@ -43,8 +43,31 @@ func backendFactories() map[string]func(keys.Set) (index.Backend, error) {
 			}
 			return defense.NewGuard(b, defense.GuardOptions{}), nil
 		},
+		// A guard running an explicit policy CHAIN over a sharded substrate:
+		// exercises the composable-detector path through the full plane
+		// contract. The chain is tuned so the conformance inserts (wide-gap
+		// midpoints) always pass.
+		"guarded-shard": func(ks keys.Set) (index.Backend, error) {
+			b, err := shard.New(ks, 4, dynamic.ManualPolicy())
+			if err != nil {
+				return nil, err
+			}
+			return defense.NewGuard(b, defense.GuardOptions{Policies: []defense.Policy{
+				defense.DupMassPolicy{Window: 2, Count: 3},
+				defense.GapOutlierPolicy{Ratio: 32},
+			}}), nil
+		},
 		"alex": func(ks keys.Set) (index.Backend, error) {
 			return alex.New(ks, 32)
+		},
+		// The density guard over the balanced-split gapped array — the
+		// cascade scenario's hardened victim, plane for plane.
+		"guarded-alex": func(ks keys.Set) (index.Backend, error) {
+			b, err := alex.NewBalanced(ks, 32)
+			if err != nil {
+				return nil, err
+			}
+			return defense.NewGuard(b, defense.GuardOptions{}), nil
 		},
 	}
 }

@@ -9,10 +9,12 @@ package rmi
 // threat model assumes.
 
 import (
+	"math"
 	"sort"
 
 	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
 )
 
 var _ index.Backend = (*Single)(nil)
@@ -35,17 +37,82 @@ type Single struct {
 	// stagedShared marks the staged slice as aliased by a snapshot: the
 	// next mutation clones instead of editing in place.
 	stagedShared bool
-	retrains     int
-	lastRebuild  int // keys covered by the most recent Build (index.RebuildSizer)
+	// fit is the pluggable stage-2 trainer; nil selects the exact
+	// least-squares Build path.
+	fit         FitFunc
+	retrains    int
+	lastRebuild int // keys covered by the most recent Build (index.RebuildSizer)
 }
+
+// FitFunc is a pluggable stage-2 trainer for the single-model path: given
+// the base set, produce a model predicting global 1-based ranks.
+// internal/robust provides poisoning-resistant implementations; the error
+// envelope is always recomputed over the full base against the returned
+// line, so stored-key lookups stay guaranteed (DESIGN.md §10).
+type FitFunc func(keys.Set) (regression.Model, error)
 
 // NewSingle builds the fanout-1 learned index over the initial keys.
 func NewSingle(initial keys.Set) (*Single, error) {
-	idx, err := Build(initial, Config{Fanout: 1})
+	return NewSingleWithFit(initial, nil)
+}
+
+// NewSingleWithFit is NewSingle with a pluggable trainer used by the
+// initial build and every Retrain. A nil fit is byte-identical to
+// NewSingle.
+func NewSingleWithFit(initial keys.Set, fit FitFunc) (*Single, error) {
+	idx, err := buildSingle(initial, fit)
 	if err != nil {
 		return nil, err
 	}
-	return &Single{v: singleView{idx: idx, base: initial}, lastRebuild: initial.Len()}, nil
+	return &Single{v: singleView{idx: idx, base: initial}, fit: fit, lastRebuild: initial.Len()}, nil
+}
+
+// buildSingle constructs the fanout-1 index, through Build for the default
+// trainer or from the supplied fit's line with a freshly recorded error
+// envelope — structurally identical to what Build produces, so lookups,
+// stats, and snapshots behave the same either way.
+func buildSingle(base keys.Set, fit FitFunc) (*Index, error) {
+	if fit == nil {
+		return Build(base, Config{Fanout: 1})
+	}
+	n := base.Len()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	m, err := fit(base)
+	if err != nil {
+		return nil, err
+	}
+	s := stage2{
+		assigned:  n,
+		firstKey:  base.Min(),
+		lastKey:   base.Max(),
+		line:      m.Line,
+		saturated: base.Saturated(),
+	}
+	if n == 1 {
+		s.line = regression.Line{W: 0, B: 1}
+	} else {
+		s.eLo, s.eHi = math.Inf(1), math.Inf(-1)
+		var mse float64
+		for i := 0; i < n; i++ {
+			d := float64(i+1) - s.line.Predict(base.At(i))
+			if d < s.eLo {
+				s.eLo = d
+			}
+			if d > s.eHi {
+				s.eHi = d
+			}
+			mse += d * d
+		}
+		s.localMSE = mse / float64(n)
+	}
+	return &Index{
+		ks:         base,
+		cfg:        Config{Fanout: 1, Root: RootPerfect},
+		models:     []stage2{s},
+		boundaries: []int64{base.Min()},
+	}, nil
 }
 
 // LastRebuildSize reports how many keys the most recent rebuild covered —
@@ -113,7 +180,7 @@ func (s *Single) Retrain() {
 		s.v.staged = nil
 		s.stagedShared = false
 	}
-	idx, err := Build(s.v.base, Config{Fanout: 1})
+	idx, err := buildSingle(s.v.base, s.fit)
 	if err != nil {
 		// Build succeeded on this base before (or on a superset-compatible
 		// one); a failure here is a programming error, not an input error.

@@ -1,0 +1,290 @@
+// Package robust provides poisoning-resistant CDF fitters behind a common
+// Fitter interface, pluggable into every learned substrate's retrain path
+// (dynamic.NewWithFit, shard.NewWithFit, rmi.NewSingleWithFit). The OLS fit
+// the paper attacks minimizes squared error, so a handful of adversarial
+// keys can swing the slope arbitrarily; the estimators here bound a single
+// key's influence instead — Theil–Sen by taking a median over pairwise
+// slopes, trimmed least squares by refitting after discarding the
+// worst-residual keys ("Testing the Robustness of Learned Index
+// Structures", PAPERS.md).
+//
+// Every fitter is deterministic (no RNG, no map iteration) and offers a
+// FitParallel path that fans the per-key work over an engine.Pool while
+// producing a byte-identical Model for any worker count: each slope or
+// residual is computed independently at its own index and the
+// order-sensitive steps (sorting, selection) stay sequential. See DESIGN.md
+// §10 for the fitter contract.
+package robust
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cdfpoison/internal/engine"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
+)
+
+// Fitter is the pluggable CDF-training contract: given a sorted key set,
+// produce a regression.Model predicting 1-based ranks. Name() is the
+// canonical spec form and round-trips through ParseFitter. Fit and
+// FitParallel return byte-identical models for the same input; FitParallel
+// merely spreads the per-key arithmetic over the pool.
+//
+// Model semantics match regression.FitCDF: Loss is the MSE of the returned
+// line over the FULL input set (poison included — the fit may ignore keys,
+// the loss may not, so ContentLoss comparisons across fitters stay
+// apples-to-apples) and N is the full input size.
+type Fitter interface {
+	Name() string
+	Fit(ks keys.Set) (regression.Model, error)
+	FitParallel(ctx context.Context, pool *engine.Pool, ks keys.Set) (regression.Model, error)
+}
+
+// fitGrainFloor keeps parallel fan-out coarse enough that tiny fits stay on
+// one task (same floor discipline as the serve-plane probe scans).
+const fitGrainFloor = 256
+
+// OLS is the undefended baseline: the exact least-squares fit the paper
+// attacks (regression.FitCDF). Its presence makes "no robust training" a
+// point on the same sweep axis as the robust estimators.
+type OLS struct{}
+
+// Name returns the canonical spec "ols".
+func (OLS) Name() string { return "ols" }
+
+// Fit delegates to the closed-form least-squares fit.
+func (OLS) Fit(ks keys.Set) (regression.Model, error) { return regression.FitCDF(ks) }
+
+// FitParallel is identical to Fit: the closed form is already a single
+// exact pass, so there is nothing to fan out.
+func (OLS) FitParallel(_ context.Context, _ *engine.Pool, ks keys.Set) (regression.Model, error) {
+	return regression.FitCDF(ks)
+}
+
+// TheilSen is a deterministic Theil–Sen CDF estimator: the slope is the
+// median of the n/2 disjoint pairwise slopes (key i paired with key i+n/2 —
+// the Siegel-style pairing that keeps the estimator O(n log n) instead of
+// O(n²) while preserving the 29% breakdown point), and the intercept is the
+// median residual at that slope. A poisoning key moves one slope and one
+// residual — never the median by more than one order statistic.
+type TheilSen struct{}
+
+// Name returns the canonical spec "theilsen".
+func (TheilSen) Name() string { return "theilsen" }
+
+// Fit runs the estimator sequentially.
+func (TheilSen) Fit(ks keys.Set) (regression.Model, error) {
+	return theilSen(context.Background(), nil, ks)
+}
+
+// FitParallel fans the slope and residual computations over the pool; the
+// medians are taken over the same values in the same order, so the model is
+// byte-identical for any worker count.
+func (TheilSen) FitParallel(ctx context.Context, pool *engine.Pool, ks keys.Set) (regression.Model, error) {
+	return theilSen(ctx, pool, ks)
+}
+
+func theilSen(ctx context.Context, pool *engine.Pool, ks keys.Set) (regression.Model, error) {
+	n := ks.Len()
+	if n == 0 {
+		return regression.Model{}, regression.ErrTooFew
+	}
+	if n == 1 {
+		// Degenerate single-key fit, mirroring regression.FitCDF: predict
+		// rank 1 everywhere.
+		return regression.Model{Line: regression.Line{W: 0, B: 1}, Loss: 0, N: 1}, nil
+	}
+	h := n / 2
+	// Disjoint-pair slopes: rank distance is exactly h, key distance is
+	// positive (keys are strictly increasing), so every slope is finite.
+	slopes := fill(ctx, pool, n-h, func(i int) float64 {
+		return float64(h) / float64(ks.At(i+h)-ks.At(i))
+	})
+	w := median(slopes)
+	resid := fill(ctx, pool, n, func(i int) float64 {
+		return float64(i+1) - w*float64(ks.At(i))
+	})
+	b := median(resid)
+	line := regression.Line{W: w, B: b}
+	loss, err := regression.EvaluateCDF(line, ks)
+	if err != nil {
+		return regression.Model{}, err
+	}
+	return regression.Model{Line: line, Loss: loss, N: n}, nil
+}
+
+// Trimmed is iterated trimmed least squares: fit, discard the Pct% of keys
+// with the largest absolute rank residuals, refit on the survivors against
+// their ORIGINAL ranks, for a fixed two rounds. Discarded keys still count
+// in the reported Loss — the defense may refuse to train on a key, but the
+// key is still stored and still costs probes.
+type Trimmed struct {
+	// Pct is the percentage of keys discarded per round, in (0, 50).
+	Pct float64
+}
+
+// Name returns the canonical spec "trimmed:P".
+func (t Trimmed) Name() string { return fmt.Sprintf("trimmed:%g", t.Pct) }
+
+const trimRounds = 2
+
+// Fit runs the estimator sequentially.
+func (t Trimmed) Fit(ks keys.Set) (regression.Model, error) {
+	return t.fit(context.Background(), nil, ks)
+}
+
+// FitParallel fans the residual scoring over the pool; selection and
+// refitting stay sequential, so the model is byte-identical for any worker
+// count.
+func (t Trimmed) FitParallel(ctx context.Context, pool *engine.Pool, ks keys.Set) (regression.Model, error) {
+	return t.fit(ctx, pool, ks)
+}
+
+func (t Trimmed) fit(ctx context.Context, pool *engine.Pool, ks keys.Set) (regression.Model, error) {
+	if math.IsNaN(t.Pct) || t.Pct <= 0 || t.Pct >= 50 {
+		return regression.Model{}, fmt.Errorf("robust: trim percentage %g outside (0, 50)", t.Pct)
+	}
+	n := ks.Len()
+	full, err := regression.FitCDF(ks)
+	if err != nil || n <= 2 {
+		return full, err
+	}
+	drop := int(float64(n) * t.Pct / 100)
+	if n-drop < 2 {
+		drop = n - 2
+	}
+	if drop == 0 {
+		return full, nil
+	}
+	// kept holds the surviving key indices, always in ascending order.
+	kept := make([]int, n)
+	for i := range kept {
+		kept[i] = i
+	}
+	line := full.Line
+	type scored struct {
+		idx int
+		r   float64
+	}
+	for round := 0; round < trimRounds; round++ {
+		resid := fill(ctx, pool, len(kept), func(j int) scored {
+			i := kept[j]
+			d := line.Predict(ks.At(i)) - float64(i+1)
+			return scored{idx: i, r: math.Abs(d)}
+		})
+		// Keep the len(kept)-drop smallest residuals; ties break on the
+		// lower original index so the selection is deterministic.
+		sort.Slice(resid, func(a, b int) bool {
+			if resid[a].r != resid[b].r {
+				return resid[a].r < resid[b].r
+			}
+			return resid[a].idx < resid[b].idx
+		})
+		keepN := len(kept) - drop
+		if keepN < 2 {
+			keepN = 2
+		}
+		next := make([]int, keepN)
+		for j := 0; j < keepN; j++ {
+			next[j] = resid[j].idx
+		}
+		sort.Ints(next)
+		kept = next
+		// Refit the survivors against their ORIGINAL 1-based ranks: the
+		// model must still predict positions in the full stored array.
+		x := make([]float64, len(kept))
+		y := make([]float64, len(kept))
+		for j, i := range kept {
+			x[j] = float64(ks.At(i))
+			y[j] = float64(i + 1)
+		}
+		line, err = regression.FitXY(x, y)
+		if err != nil {
+			return regression.Model{}, err
+		}
+	}
+	loss, err := regression.EvaluateCDF(line, ks)
+	if err != nil {
+		return regression.Model{}, err
+	}
+	return regression.Model{Line: line, Loss: loss, N: n}, nil
+}
+
+// fill computes out[i] = fn(i) for i in [0, n), over the pool when one is
+// supplied and the input is large enough to be worth fanning out. Every
+// element is computed independently at its own index, so the output is
+// byte-identical for any worker count.
+func fill[T any](ctx context.Context, pool *engine.Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if pool == nil || pool.Workers() == 1 || n < fitGrainFloor {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	grain := engine.GrainForMin(n, pool, fitGrainFloor)
+	// Chunk errors are impossible (fn is total); ignore the error path.
+	_, _ = engine.MapChunks(ctx, pool, n, grain, func(lo, hi int) (struct{}, error) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+		return struct{}{}, nil
+	})
+	return out
+}
+
+// median returns the median of xs (mean of the central pair for even
+// lengths), sorting a copy. xs must be non-empty.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s)
+	if m%2 == 1 {
+		return s[m/2]
+	}
+	return (s[m/2-1] + s[m/2]) / 2
+}
+
+// ParseFitter parses the fitter spec syntax shared by the defense sweep and
+// the lispoison defense subcommand:
+//
+//	ols              the undefended least-squares baseline
+//	theilsen         deterministic Theil–Sen median-of-slopes
+//	trimmed:P        trimmed least squares discarding P% per round (0<P<50)
+//
+// ParseFitter is total: any input yields a Fitter or an error, never a
+// panic, and Fitter.Name round-trips through it.
+func ParseFitter(s string) (Fitter, error) {
+	fields := strings.Split(s, ":")
+	switch fields[0] {
+	case "ols":
+		if len(fields) > 1 {
+			return nil, fmt.Errorf("fitter %q: ols takes no parameters", s)
+		}
+		return OLS{}, nil
+	case "theilsen":
+		if len(fields) > 1 {
+			return nil, fmt.Errorf("fitter %q: theilsen takes no parameters", s)
+		}
+		return TheilSen{}, nil
+	case "trimmed":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fitter %q: want trimmed:P", s)
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fitter %q: bad percentage %q", s, fields[1])
+		}
+		if math.IsNaN(p) || p <= 0 || p >= 50 {
+			return nil, fmt.Errorf("fitter %q: percentage %g outside (0, 50)", s, p)
+		}
+		return Trimmed{Pct: p}, nil
+	default:
+		return nil, fmt.Errorf("unknown fitter %q (want ols | theilsen | trimmed:P)", s)
+	}
+}

@@ -1,0 +1,223 @@
+package robust
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cdfpoison/internal/dataset"
+	"cdfpoison/internal/engine"
+	"cdfpoison/internal/keys"
+	"cdfpoison/internal/regression"
+	"cdfpoison/internal/xrand"
+)
+
+func mustSet(t *testing.T, ks []int64) keys.Set {
+	t.Helper()
+	s, err := keys.New(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// progression builds the exact line fixture: keys a, a+step, a+2*step, ...
+func progression(t *testing.T, a, step int64, n int) keys.Set {
+	t.Helper()
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = a + step*int64(i)
+	}
+	return mustSet(t, out)
+}
+
+// poisoned returns the progression plus a dense adversarial cluster at the
+// high end — the shape GreedyMultiPoint produces.
+func poisoned(t *testing.T, clean keys.Set, cluster int) keys.Set {
+	t.Helper()
+	out := append([]int64(nil), clean.Keys()...)
+	base := clean.Max() - int64(cluster) - 1
+	for i := 0; i < cluster; i++ {
+		out = append(out, base+int64(i))
+	}
+	s, err := keys.New(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func allFitters() []Fitter {
+	return []Fitter{OLS{}, TheilSen{}, Trimmed{Pct: 10}, Trimmed{Pct: 25}}
+}
+
+func TestOLSMatchesFitCDF(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(7), 300, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := regression.FitCDF(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OLS{}.Fit(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("OLS.Fit = %+v, FitCDF = %+v", got, want)
+	}
+}
+
+func TestTheilSenExactOnPerfectLine(t *testing.T) {
+	ks := progression(t, 100, 7, 201)
+	m, err := TheilSen{}.Fit(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := 1.0 / 7.0; math.Abs(m.Line.W-w) > 1e-12 {
+		t.Fatalf("W = %v, want %v", m.Line.W, w)
+	}
+	if m.Loss > 1e-18 {
+		t.Fatalf("Loss = %v on a perfect line", m.Loss)
+	}
+	if m.N != ks.Len() {
+		t.Fatalf("N = %d, want %d", m.N, ks.Len())
+	}
+}
+
+// TestRobustFittersResistCluster is the point of the package: a dense
+// poison cluster drags the OLS slope, while Theil–Sen and trimmed LS stay
+// materially closer to the clean fit.
+func TestRobustFittersResistCluster(t *testing.T) {
+	clean := progression(t, 1000, 50, 200)
+	cleanFit, err := regression.FitCDF(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := poisoned(t, clean, 40)
+	ols, err := OLS{}.Fit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	olsDrift := math.Abs(ols.Line.W - cleanFit.Line.W)
+	if olsDrift == 0 {
+		t.Fatal("fixture too weak: poison did not move the OLS slope")
+	}
+	for _, f := range []Fitter{TheilSen{}, Trimmed{Pct: 20}} {
+		m, err := f.Fit(bad)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		drift := math.Abs(m.Line.W - cleanFit.Line.W)
+		if drift >= olsDrift/2 {
+			t.Errorf("%s slope drift %v not under half the OLS drift %v", f.Name(), drift, olsDrift)
+		}
+	}
+}
+
+// TestFitDeterminism: two sequential fits of the same input are
+// byte-identical (comparable Model struct).
+func TestFitDeterminism(t *testing.T) {
+	ks, err := dataset.Uniform(xrand.New(13), 500, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range allFitters() {
+		a, err := f.Fit(ks)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		b, err := f.Fit(ks)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if a != b {
+			t.Errorf("%s: repeated fits differ: %+v vs %+v", f.Name(), a, b)
+		}
+	}
+}
+
+// TestFitWorkerEquivalence is the determinism contract: FitParallel over a
+// multi-worker pool returns a Model byte-identical to the sequential Fit,
+// for sizes on both sides of the grain floor.
+func TestFitWorkerEquivalence(t *testing.T) {
+	pools := []*engine.Pool{engine.New(1), engine.New(0), engine.New(5)}
+	for _, n := range []int{2, 17, 255, 256, 2000} {
+		ks, err := dataset.Uniform(xrand.New(uint64(n)), n, int64(n)*60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range allFitters() {
+			want, err := f.Fit(ks)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", f.Name(), n, err)
+			}
+			for _, p := range pools {
+				got, err := f.FitParallel(context.Background(), p, ks)
+				if err != nil {
+					t.Fatalf("%s n=%d workers=%d: %v", f.Name(), n, p.Workers(), err)
+				}
+				if got != want {
+					t.Errorf("%s n=%d workers=%d: parallel %+v != sequential %+v",
+						f.Name(), n, p.Workers(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFitDegenerateSizes(t *testing.T) {
+	for _, f := range allFitters() {
+		if _, err := f.Fit(keys.Set{}); err == nil {
+			t.Errorf("%s: no error on empty set", f.Name())
+		}
+		one := mustSet(t, []int64{42})
+		m, err := f.Fit(one)
+		if err != nil {
+			t.Errorf("%s: single-key fit failed: %v", f.Name(), err)
+		} else if m.Predict(42) != 1 {
+			t.Errorf("%s: single-key fit predicts %v for the only key", f.Name(), m.Predict(42))
+		}
+		two := mustSet(t, []int64{10, 20})
+		if _, err := f.Fit(two); err != nil {
+			t.Errorf("%s: two-key fit failed: %v", f.Name(), err)
+		}
+	}
+}
+
+func TestTrimmedRejectsBadPct(t *testing.T) {
+	ks := progression(t, 0, 3, 50)
+	for _, pct := range []float64{0, -5, 50, 80, math.NaN()} {
+		if _, err := (Trimmed{Pct: pct}).Fit(ks); err == nil {
+			t.Errorf("Trimmed{%v}.Fit accepted an out-of-range percentage", pct)
+		}
+	}
+}
+
+func TestParseFitterRoundTrip(t *testing.T) {
+	for _, spec := range []string{"ols", "theilsen", "trimmed:10", "trimmed:2.5"} {
+		f, err := ParseFitter(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if f.Name() != spec {
+			t.Errorf("ParseFitter(%q).Name() = %q", spec, f.Name())
+		}
+		again, err := ParseFitter(f.Name())
+		if err != nil {
+			t.Errorf("Name %q does not re-parse: %v", f.Name(), err)
+		} else if again.Name() != f.Name() {
+			t.Errorf("round trip drifted: %q -> %q", f.Name(), again.Name())
+		}
+	}
+}
+
+func TestParseFitterRejects(t *testing.T) {
+	for _, spec := range []string{"", "huber", "ols:1", "theilsen:2", "trimmed",
+		"trimmed:", "trimmed:0", "trimmed:50", "trimmed:-3", "trimmed:NaN", "trimmed:x", "trimmed:1:2"} {
+		if _, err := ParseFitter(spec); err == nil {
+			t.Errorf("ParseFitter(%q) accepted an invalid spec", spec)
+		}
+	}
+}

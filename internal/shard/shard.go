@@ -67,6 +67,16 @@ type Index struct {
 // independent dynamic index running its own copy of the retrain policy.
 // Requires n >= 1 shards and at least two initial keys per shard.
 func New(initial keys.Set, n int, policy dynamic.RetrainPolicy) (*Index, error) {
+	return NewWithFit(initial, n, policy, nil)
+}
+
+// NewWithFit is New with a pluggable per-shard trainer (dynamic.FitFunc):
+// every shard's model fits — initial and retrains alike — go through fit.
+// The ROUTER stays the exact least-squares fit regardless: it is frozen at
+// construction over pre-attack data, so robustifying it defends nothing,
+// while changing it would move every routing boundary and probe count. A
+// nil fit is byte-identical to New.
+func NewWithFit(initial keys.Set, n int, policy dynamic.RetrainPolicy, fit dynamic.FitFunc) (*Index, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need >= 1 shards, got %d", n)
 	}
@@ -80,7 +90,7 @@ func New(initial keys.Set, n int, policy dynamic.RetrainPolicy) (*Index, error) 
 	x := &Index{cuts: cuts}
 	parts := partition(initial, cuts)
 	for i, part := range parts {
-		s, err := dynamic.New(part, policy)
+		s, err := dynamic.NewWithFit(part, policy, fit)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}

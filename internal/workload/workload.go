@@ -123,6 +123,13 @@ func (s Spec) String() string {
 type Op struct {
 	Read bool
 	Key  int64
+	// Source identifies the logical client that issued the op, for
+	// per-source rate limiting in the defense plane (internal/defense).
+	// Generators assign it round-robin from an op counter — see SetSources —
+	// so it consumes no RNG draws and streams stay byte-identical in
+	// (Read, Key) whether or not sources are enabled. Always 0 until
+	// SetSources is called with n >= 2.
+	Source int
 }
 
 // Generator produces the deterministic operation stream for one spec.
@@ -136,6 +143,22 @@ type Generator struct {
 	cum []float64
 	// hotLo/hotHi bound the hot rank window (Hotspot only), inclusive.
 	hotLo, hotHi int
+	// sources > 0 spreads ops round-robin across that many logical clients
+	// (see SetSources); opCount is the counter driving the rotation.
+	sources int
+	opCount int
+}
+
+// SetSources spreads subsequent ops round-robin across n logical clients:
+// op i is attributed to client i mod n. n <= 1 disables attribution
+// (Source stays 0). The assignment is driven by a plain op counter, NOT the
+// RNG, so enabling sources never perturbs the (Read, Key) stream — the
+// byte-identity every recorded scenario CSV depends on.
+func (g *Generator) SetSources(n int) {
+	if n <= 1 {
+		n = 0
+	}
+	g.sources = n
 }
 
 // NewGenerator builds the stream generator. Reads target the initial key
@@ -194,10 +217,15 @@ func (g *Generator) readRank() int {
 
 // Next draws the next operation of the stream.
 func (g *Generator) Next() Op {
-	if g.rng.Float64()*100 < g.spec.ReadPct {
-		return Op{Read: true, Key: g.initial.At(g.readRank())}
+	var src int
+	if g.sources > 0 {
+		src = g.opCount % g.sources
 	}
-	return Op{Key: g.rng.Int63n(g.domain)}
+	g.opCount++
+	if g.rng.Float64()*100 < g.spec.ReadPct {
+		return Op{Read: true, Key: g.initial.At(g.readRank()), Source: src}
+	}
+	return Op{Key: g.rng.Int63n(g.domain), Source: src}
 }
 
 // Ops draws the next n operations.

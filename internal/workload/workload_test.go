@@ -76,6 +76,42 @@ func TestStreamDeterminism(t *testing.T) {
 	}
 }
 
+// TestSourceAttribution: SetSources tags ops round-robin from the op
+// counter WITHOUT consuming RNG draws, so the (Read, Key) stream is
+// byte-identical with sources on or off — the invariant that keeps every
+// recorded scenario CSV stable when a defense sweep turns attribution on.
+func TestSourceAttribution(t *testing.T) {
+	ks := fixture(t, 200)
+	for _, spec := range []Spec{NewUniform(90), NewZipf(1.1, 90), NewHotspot(2, 90)} {
+		plain, err := NewGenerator(spec, ks, 10_000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tagged, _ := NewGenerator(spec, ks, 10_000, 7)
+		tagged.SetSources(4)
+		po, to := plain.Ops(500), tagged.Ops(500)
+		for i := range po {
+			if po[i].Read != to[i].Read || po[i].Key != to[i].Key {
+				t.Fatalf("%s: op %d (Read, Key) changed under source tagging", spec, i)
+			}
+			if po[i].Source != 0 {
+				t.Fatalf("%s: untagged op %d has Source %d", spec, i, po[i].Source)
+			}
+			if to[i].Source != i%4 {
+				t.Fatalf("%s: op %d Source = %d, want %d", spec, i, to[i].Source, i%4)
+			}
+		}
+	}
+	// n <= 1 disables attribution.
+	g, _ := NewGenerator(NewUniform(50), ks, 10_000, 7)
+	g.SetSources(1)
+	for i, op := range g.Ops(20) {
+		if op.Source != 0 {
+			t.Fatalf("SetSources(1): op %d has Source %d", i, op.Source)
+		}
+	}
+}
+
 // TestOpsInto: the buffer-reusing draw produces the identical stream to
 // Ops, reuses a large-enough destination in place, and grows a short one.
 func TestOpsInto(t *testing.T) {
