@@ -117,6 +117,12 @@ func WithParallelism(n int) AttackOption { return core.WithWorkers(n) }
 // cancelled, checking between candidate evaluations.
 func WithCancellation(ctx context.Context) AttackOption { return core.WithContext(ctx) }
 
+// WithExhaustiveScan disables the closed-form pruned scan (DESIGN.md §11)
+// and forces the classic exhaustive gap-endpoint sweep. Results are
+// bit-identical either way; use it for ablations or when the classic
+// 2(n−1)-candidate accounting is wanted.
+func WithExhaustiveScan() AttackOption { return core.WithFullScan() }
+
 // ---------------------------------------------------------------------------
 // Poisoning attacks (the paper's contribution)
 // ---------------------------------------------------------------------------
@@ -145,8 +151,12 @@ var (
 	ErrTooFew = core.ErrTooFew
 )
 
-// OptimalSinglePoint finds the poisoning key maximizing the retrained MSE in
-// O(n), evaluating only gap endpoints (Theorem 2).
+// OptimalSinglePoint finds the poisoning key maximizing the retrained MSE.
+// Only gap endpoints are candidates (Theorem 2), and a closed-form bound
+// prunes whole blocks of gaps before evaluation (DESIGN.md §11), so the
+// scan is sublinear in practice with an O(n) worst case — bit-identical to
+// the exhaustive sweep either way (see WithExhaustiveScan). The result's
+// BlocksVisited/BlocksTotal fields report how much the pruning saved.
 func OptimalSinglePoint(ks KeySet, opts ...AttackOption) (SinglePointResult, error) {
 	return core.OptimalSinglePoint(ks, opts...)
 }
@@ -159,8 +169,9 @@ func BruteForceSinglePoint(ks KeySet, opts ...AttackOption) (SinglePointResult, 
 
 // GreedyMultiPoint inserts up to p poisoning keys, each locally optimal
 // (Algorithm 1); it stops early if the domain saturates or no insertion can
-// increase the loss. WithParallelism spreads each step's candidate scan
-// across workers without changing any result byte.
+// increase the loss. Each step runs the pruned endpoint scan (DESIGN.md
+// §11), and WithParallelism spreads the surviving candidate blocks across
+// workers — neither changes any result byte.
 func GreedyMultiPoint(ks KeySet, p int, opts ...AttackOption) (GreedyResult, error) {
 	return core.GreedyMultiPoint(ks, p, opts...)
 }

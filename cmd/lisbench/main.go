@@ -12,13 +12,18 @@
 //	lisbench -fig churn -out results/    # retrain-churn scenario: staleness vs epoch
 //	lisbench -fig cascade -out results/  # split-cascade scenario: structural damage vs epoch
 //	lisbench -fig throughput -out results/  # concurrent serving: tail latency + ops/sec
-//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR7.json
-//	lisbench -fig perf -scale quick -baseline BENCH_PR7.json   # CI regression gate
+//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR9.json
+//	lisbench -fig perf -scale quick -baseline BENCH_PR9.json   # CI regression gate
+//	lisbench -fig perf -cpuprofile cpu.out -memprofile mem.out # profile a run
 //
 // The perf sweep is machine-dependent by nature, so it is NOT part of -fig
 // all; with -baseline the command exits non-zero when any matched cell
 // regresses more than -perf-tol in ns/op (or in allocs/op, which is
 // machine-independent).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// figure runs (the CPU profile spans all of them; the heap profile is a
+// post-GC snapshot taken after the last), viewable with `go tool pprof`.
 //
 // Scales: quick (seconds), default (minutes), large (tens of minutes on one
 // core). See DESIGN.md §3 ("Scaling policy") for what each preserves.
@@ -30,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,13 +53,15 @@ var (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|cascade|throughput|defense|perf|all (all excludes perf)")
-		scale   = flag.String("scale", "default", "experiment scale: quick|default|large")
-		seed    = flag.Uint64("seed", 42, "root RNG seed")
-		out     = flag.String("out", "", "directory for CSV output (optional)")
-		workers = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
+		fig        = flag.String("fig", "all", "figure to regenerate: 2|3|4|5|6|7|8|ext|ablation|online|serve|churn|cascade|throughput|defense|perf|all (all excludes perf)")
+		scale      = flag.String("scale", "default", "experiment scale: quick|default|large")
+		seed       = flag.Uint64("seed", 42, "root RNG seed")
+		out        = flag.String("out", "", "directory for CSV output (optional)")
+		workers    = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the selected figure runs to `file`")
+		memprofile = flag.String("memprofile", "", "write a post-GC heap profile to `file` after the runs finish")
 	)
-	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR8.json) to compare the perf sweep against; exit 1 on regression")
+	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR9.json) to compare the perf sweep against; exit 1 on regression")
 	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
@@ -104,13 +113,62 @@ func main() {
 			selected = append(selected, f)
 		}
 	}
+	stopCPU, err := startCPUProfile(*cpuprofile)
+	if err != nil {
+		fatalf("cpuprofile: %v", err)
+	}
 	for _, f := range selected {
 		start := time.Now()
 		if err := runners[f](opts, *out); err != nil {
+			stopCPU()
 			fatalf("figure %s: %v", f, err)
 		}
 		fmt.Printf("[%s done in %v]\n\n", name(f), time.Since(start).Round(time.Millisecond))
 	}
+	stopCPU()
+	if err := writeMemProfile(*memprofile); err != nil {
+		fatalf("memprofile: %v", err)
+	}
+}
+
+// startCPUProfile begins a pprof CPU profile written to path; the returned
+// stop function (never nil) flushes and closes it. An empty path is a no-op,
+// so callers need no conditional.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile snapshots the heap to path after a forced GC, so the
+// profile reflects live retention rather than garbage awaiting collection.
+// An empty path is a no-op.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func name(f string) string {
@@ -583,7 +641,7 @@ func runServe(opts bench.Options, out string) error {
 
 // perfArtifact is the perf report's file name: the repository root holds
 // the checked-in baseline of the same name that CI gates against.
-const perfArtifact = "BENCH_PR8.json"
+const perfArtifact = "BENCH_PR9.json"
 
 // runChurn renders the retrain-churn sweep: the per-epoch staleness,
 // publish-latency, and loss trajectory of core.ChurnAttack across

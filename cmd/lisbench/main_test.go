@@ -293,6 +293,54 @@ func TestCheckedInPerfBaselineParses(t *testing.T) {
 	}
 }
 
+// TestProfileFlagsSmoke drives the -cpuprofile / -memprofile plumbing end
+// to end: profile a real (quick) figure run and verify both files come out
+// non-empty with the pprof gzip magic, exactly as `go tool pprof` expects.
+func TestProfileFlagsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+
+	stop, err := startCPUProfile(cpu)
+	if err != nil {
+		t.Fatalf("startCPUProfile: %v", err)
+	}
+	if err := silently(t, func() error { return runFig2(quickOpts(), "") }); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	stop()
+	if err := writeMemProfile(mem); err != nil {
+		t.Fatalf("writeMemProfile: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if len(blob) < 2 || blob[0] != 0x1f || blob[1] != 0x8b {
+			t.Fatalf("%s: %d bytes, not a gzipped pprof profile", p, len(blob))
+		}
+	}
+
+	// The empty-path no-ops must stay no-ops (main calls them uncondition-
+	// ally), and a bogus path must surface as an error, not a silent skip.
+	if stop, err := startCPUProfile(""); err != nil {
+		t.Fatalf("empty cpuprofile path: %v", err)
+	} else {
+		stop()
+	}
+	if err := writeMemProfile(""); err != nil {
+		t.Fatalf("empty memprofile path: %v", err)
+	}
+	if _, err := startCPUProfile(filepath.Join(dir, "no", "such", "dir", "x")); err == nil {
+		t.Fatal("startCPUProfile accepted an uncreatable path")
+	}
+	if err := writeMemProfile(filepath.Join(dir, "no", "such", "dir", "x")); err == nil {
+		t.Fatal("writeMemProfile accepted an uncreatable path")
+	}
+}
+
 func TestCSVDeterminism(t *testing.T) {
 	// Same seed → byte-identical CSV: the reproducibility guarantee
 	// EXPERIMENTS.md relies on.

@@ -239,6 +239,11 @@ func cmdAttack(args []string) error {
 		poisoned = g.Poisoned
 		fmt.Printf("regression attack: %d poison keys, MSE %.6g -> %.6g (ratio %.2f×)\n",
 			len(g.Poison), g.CleanLoss, g.FinalLoss(), g.RatioLoss())
+		if g.BlocksTotal > 0 {
+			fmt.Printf("pruned scan: %d candidates over %d/%d gap blocks (%.1f%% visited)\n",
+				g.Candidates, g.BlocksVisited, g.BlocksTotal,
+				100*float64(g.BlocksVisited)/float64(g.BlocksTotal))
+		}
 	} else {
 		N := *models
 		if N == 0 {

@@ -296,7 +296,11 @@ func EndpointsVsBrute(opts Options) (EndpointAblation, error) {
 		return EndpointAblation{}, err
 	}
 	start := time.Now()
-	opt, err := core.OptimalSinglePoint(ks)
+	// Pinned to the full scan so opt_candidates keeps the classic 2(n−1)
+	// endpoint count this ablation's CSV has always recorded; the pruned
+	// scan gets its own ablation rows in the perf sweep ("single" vs
+	// "single-full" vs "brute").
+	opt, err := core.OptimalSinglePoint(ks, core.WithFullScan())
 	optD := time.Since(start)
 	if err != nil {
 		return EndpointAblation{}, err

@@ -8,7 +8,7 @@ package bench
 // any optimization actually landed. PerfSweep measures a FIXED cell list
 // (attack × n × workers, identical at every Scale so reports from any two
 // runs can be compared record-by-record), and the report serializes to the
-// perf artifact (BENCH_PR8.json at the repository root — BENCH_PR7.json is
+// perf artifact (BENCH_PR9.json at the repository root — BENCH_PR8.json is
 // the previous trajectory point): the checked-in baseline CI replays
 // against (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale
 // only controls how long each cell is sampled, never what it runs.
@@ -58,7 +58,7 @@ func (r PerfRecord) Key() string {
 }
 
 // PerfReport is the full sweep result, serialized to the perf artifact
-// (BENCH_PR8.json).
+// (BENCH_PR9.json).
 type PerfReport struct {
 	Schema     string       `json:"schema"`
 	Scale      string       `json:"scale"`
@@ -93,6 +93,14 @@ func perfCells() []perfCell {
 		{attack: "greedy", n: 100_000, p: 50, op: greedy(50)},
 		{attack: "single", n: 100_000, op: func(ks keys.Set, w int) error {
 			_, err := core.OptimalSinglePoint(ks, core.WithWorkers(w))
+			return err
+		}},
+		// Scan ablation for the single-point oracle: "brute" sweeps every
+		// free slot, "single-full" the classic 2(n−1) gap endpoints, and
+		// "single" (above) the pruned scan — three rows, same answer, the
+		// complexity ladder of DESIGN.md §11 read directly off the report.
+		{attack: "single-full", n: 100_000, op: func(ks keys.Set, w int) error {
+			_, err := core.OptimalSinglePoint(ks, core.WithWorkers(w), core.WithFullScan())
 			return err
 		}},
 		{attack: "brute", n: 100_000, op: func(ks keys.Set, w int) error {

@@ -18,8 +18,9 @@ import (
 type Option func(*exec)
 
 type exec struct {
-	ctx  context.Context
-	pool *engine.Pool
+	ctx      context.Context
+	pool     *engine.Pool
+	fullScan bool
 }
 
 // WithWorkers bounds the attack's worker pool: n == 1 is sequential, n > 1
@@ -27,6 +28,15 @@ type exec struct {
 // (runtime.GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(e *exec) { e.pool = engine.New(n) }
+}
+
+// WithFullScan disables the pruned endpoint scan (DESIGN.md §11) and forces
+// the exhaustive per-gap endpoint sweep. The chosen key and every loss are
+// bit-identical either way — this switch exists for the scan ablation, for
+// differential tests, and for callers that want the classic 2(n−1)-candidate
+// accounting semantics (e.g. the endpoint-vs-brute ablation).
+func WithFullScan() Option {
+	return func(e *exec) { e.fullScan = true }
 }
 
 // WithContext makes the attack cancellable: when ctx is cancelled the

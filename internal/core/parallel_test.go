@@ -231,9 +231,11 @@ func TestGreedyMultiPointAllocationBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// Setup costs ~10 allocations; 16 leaves slack for runtime noise while
-	// still catching any O(budget) regression (50 steps ⇒ ≥ 50 allocs).
-	if allocs > 16 {
+	// Setup costs ~17 allocations (mutable set, kernel, scan + pruned-scan
+	// structs and their worst-case-sized scratch buffers); 24 leaves slack
+	// for runtime noise while still catching any O(budget) regression
+	// (50 steps ⇒ ≥ 50 allocs).
+	if allocs > 24 {
 		t.Fatalf("GreedyMultiPoint(p=%d) allocated %v times; the kernel must not allocate per step", budget, allocs)
 	}
 }

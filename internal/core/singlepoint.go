@@ -39,6 +39,13 @@ type SinglePointResult struct {
 	CleanLoss    float64 // MSE of the optimal regression before poisoning
 	PoisonedLoss float64 // MSE of the optimal regression after poisoning
 	Candidates   int     // number of candidate locations evaluated
+	// Pruned-scan accounting (DESIGN.md §11): of BlocksTotal fixed-size gap
+	// blocks, BlocksVisited had their endpoints evaluated; the rest were
+	// excluded by closed-form loss bounds. Both stay zero when the full scan
+	// ran (small sets, WithFullScan, BruteForceSinglePoint). The visited set
+	// is deterministic — identical for every worker count.
+	BlocksVisited int
+	BlocksTotal   int
 }
 
 // RatioLoss returns PoisonedLoss/CleanLoss, the paper's evaluation metric.
@@ -59,12 +66,15 @@ func SafeRatio(poisoned, clean float64) float64 {
 }
 
 // OptimalSinglePoint finds the in-range poisoning key that maximizes the MSE
-// of the re-trained regression, in O(n) after the O(n) prefix build.
+// of the re-trained regression.
 //
 // By Theorem 2 the loss sequence restricted to one gap (a maximal run of
 // unoccupied keys) is convex, so its maximum over the gap is attained at one
-// of the two endpoints; the attack therefore evaluates at most 2(n−1)
-// candidates, each in O(1) via regression.Prefix.
+// of the two endpoints; at most 2(n−1) candidates exist, each evaluated in
+// O(1) via regression.Prefix. On large sets the pruned scan (pruned.go)
+// excludes most gap blocks via closed-form loss bounds before any endpoint
+// is touched, for the same — bit-identical — answer sublinearly in practice;
+// WithFullScan forces the exhaustive O(n) endpoint sweep.
 //
 // Ties are broken toward the smaller key so results are deterministic, for
 // any worker count (see WithWorkers).
@@ -76,7 +86,7 @@ func OptimalSinglePoint(ks keys.Set, opts ...Option) (SinglePointResult, error) 
 	if err != nil {
 		return SinglePointResult{}, err
 	}
-	return newEndpointScan(pre).run(newExec(opts))
+	return newPrunedScan(pre).run(newExec(opts))
 }
 
 // candidateBest is one chunk's locally-best candidate. Reducing these in
@@ -227,6 +237,15 @@ type GreedyResult struct {
 	// the smaller poison set. Stopping at the first harmful step makes the
 	// trajectory non-decreasing and guarantees RatioLoss() >= 1.
 	Stopped bool
+	// Scan accounting, summed over all steps (DESIGN.md §11): Candidates
+	// endpoint evaluations were spent in total; of BlocksTotal gap blocks
+	// considered across the steps, BlocksVisited were actually scanned.
+	// The block counters stay zero when every step ran the full scan
+	// (small sets or WithFullScan) — block accounting exists only under
+	// pruning, while Candidates accumulates either way.
+	Candidates    int
+	BlocksVisited int
+	BlocksTotal   int
 }
 
 // FinalLoss returns the MSE after the last insertion (CleanLoss when no key
@@ -243,7 +262,9 @@ func (g GreedyResult) RatioLoss() float64 { return SafeRatio(g.FinalLoss(), g.Cl
 
 // GreedyMultiPoint implements Algorithm 1: insert p poisoning keys, each
 // chosen by the optimal single-point attack against the current augmented
-// set. Runs in O(p·n). If the key domain saturates early the result is
+// set. Each step runs the pruned scan (sublinear in practice, O(n) worst
+// case; DESIGN.md §11), so the whole attack costs O(p·n) worst case and far
+// less on real key sets. If the key domain saturates early the result is
 // truncated rather than failing: the attacker simply has nowhere left to
 // inject, which the RMI volume allocator must be able to observe.
 //
@@ -281,7 +302,7 @@ func GreedyMultiPoint(ks keys.Set, p int, opts ...Option) (GreedyResult, error) 
 		Poisoned:  ks,
 	}
 	current := res.CleanLoss
-	scan := newEndpointScan(pre)
+	scan := newPrunedScan(pre)
 	for j := 0; j < p; j++ {
 		step, err := scan.run(ex)
 		if errors.Is(err, ErrNoGap) {
@@ -291,6 +312,9 @@ func GreedyMultiPoint(ks keys.Set, p int, opts ...Option) (GreedyResult, error) 
 		if err != nil {
 			return GreedyResult{}, err
 		}
+		res.Candidates += step.Candidates
+		res.BlocksVisited += step.BlocksVisited
+		res.BlocksTotal += step.BlocksTotal
 		if step.PoisonedLoss < current {
 			res.Stopped = true
 			break
