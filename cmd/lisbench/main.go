@@ -12,8 +12,8 @@
 //	lisbench -fig churn -out results/    # retrain-churn scenario: staleness vs epoch
 //	lisbench -fig cascade -out results/  # split-cascade scenario: structural damage vs epoch
 //	lisbench -fig throughput -out results/  # concurrent serving: tail latency + ops/sec
-//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR9.json
-//	lisbench -fig perf -scale quick -baseline BENCH_PR9.json   # CI regression gate
+//	lisbench -fig perf -out results/     # perf sweep → results/BENCH_PR10.json
+//	lisbench -fig perf -scale quick -baseline BENCH_PR10.json   # CI regression gate
 //	lisbench -fig perf -cpuprofile cpu.out -memprofile mem.out # profile a run
 //
 // The perf sweep is machine-dependent by nature, so it is NOT part of -fig
@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"cdfpoison/internal/bench"
+	"cdfpoison/internal/core"
 	"cdfpoison/internal/export"
 )
 
@@ -60,12 +61,13 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size for the sweeps: 0 = one per core, 1 = sequential; results are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the selected figure runs to `file`")
 		memprofile = flag.String("memprofile", "", "write a post-GC heap profile to `file` after the runs finish")
+		noBatch    = flag.Bool("no-batch-eval", false, "evaluate scenario probe columns with the per-key lookup loop instead of the sorted-batch kernel; every column is identical either way")
 	)
-	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR9.json) to compare the perf sweep against; exit 1 on regression")
+	flag.StringVar(&perfBaseline, "baseline", "", "perf baseline (BENCH_PR10.json) to compare the perf sweep against; exit 1 on regression")
 	flag.Float64Var(&perfTol, "perf-tol", 0.20, "fractional ns/op regression tolerance for -baseline")
 	flag.Parse()
 
-	opts := bench.Options{Scale: bench.Scale(*scale), Seed: *seed, Workers: *workers}
+	opts := bench.Options{Scale: bench.Scale(*scale), Seed: *seed, Workers: *workers, PerKeyEval: *noBatch}
 	switch opts.Scale {
 	case bench.ScaleQuick, bench.ScaleDefault, bench.ScaleLarge:
 	default:
@@ -595,6 +597,7 @@ func runOnline(opts bench.Options, out string) error {
 	}
 	export.RenderChart(os.Stdout, "Loss ratio vs epoch (highest budget)", series, 64, 12)
 	fmt.Printf("max final ratio: %.1f×\n", res.MaxFinalRatio())
+	fmt.Printf("probe eval: %s\n", evalPath(res.Eval))
 	return writeCSV(out, "online.csv", tb)
 }
 
@@ -636,12 +639,23 @@ func runServe(opts bench.Options, out string) error {
 	}
 	export.RenderChart(os.Stdout, "Aggregate loss ratio vs epoch (uniform mix)", series, 64, 12)
 	fmt.Printf("max final ratio: %.1f×\n", res.MaxFinalRatio())
+	fmt.Printf("probe eval: %s\n", evalPath(res.Eval))
 	return writeCSV(out, "serve.csv", tb)
+}
+
+// evalPath renders a sweep's probe-eval accounting: which eval path
+// (sorted-batch kernel vs per-key loop, DESIGN.md §12) produced the probe
+// columns, and how many key evaluations it handled.
+func evalPath(s core.EvalStats) string {
+	if s.PerKeyKeys > 0 {
+		return fmt.Sprintf("per-key loop, %d key evaluations (-no-batch-eval)", s.PerKeyKeys)
+	}
+	return fmt.Sprintf("sorted-batch kernel, %d key evaluations", s.BatchedKeys)
 }
 
 // perfArtifact is the perf report's file name: the repository root holds
 // the checked-in baseline of the same name that CI gates against.
-const perfArtifact = "BENCH_PR9.json"
+const perfArtifact = "BENCH_PR10.json"
 
 // runChurn renders the retrain-churn sweep: the per-epoch staleness,
 // publish-latency, and loss trajectory of core.ChurnAttack across

@@ -108,6 +108,10 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			// the pruned scan (internal/core/pruned.go), api.go, and the
 			// perf ablation cells cite §11.
 			"§11 Closed-form oracle & pruned scan",
+			// The batch probe kernel (internal/index/batch.go, the backend
+			// kernels, core.probeEval, api.go) and the eval perf cells
+			// cite §12.
+			"§12 Batch probe kernel invariants",
 		},
 		// doc.go promises the paper-vs-measured record; api.go cites Ext. F;
 		// bench/perf.go and the CI gate cite the perf trajectory.
@@ -146,10 +150,13 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"-fig defense",
 			"defense.csv",
 			"BENCH_PR8.json",
-			// BENCH_PR9.json (bench/perf.go, cmd/lisbench) is the live
-			// baseline the CI perf gate compares against, re-recorded for
-			// the pruned scan and the single-point ablation cell.
+			// BENCH_PR9.json stays recorded as the previous trajectory
+			// point; BENCH_PR10.json (bench/perf.go, cmd/lisbench) is the
+			// live baseline the CI perf gate compares against, re-recorded
+			// for the batch probe kernel and its eval cells.
 			"BENCH_PR9.json",
+			"BENCH_PR10.json",
+			"Batch probe kernel",
 		},
 		// doc.go points readers at the catalog and sweep instructions.
 		"README.md": {
@@ -171,6 +178,9 @@ func TestDocsCoverCitedSections(t *testing.T) {
 			"ScenarioDefense",
 			"ParseGuardPolicyChain",
 			"-fig defense",
+			// The batch probe kernel (DESIGN.md §12) points readers at the
+			// complexity note and the A/B flag.
+			"-no-batch-eval",
 		},
 	} {
 		data, err := os.ReadFile(file)

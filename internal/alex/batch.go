@@ -1,0 +1,149 @@
+package alex
+
+// Sorted-batch probe kernel (index.BatchReader, DESIGN.md §12). Every
+// comparison a lookup makes — the router's boundary walk and the leaf's
+// exponential+binary lower-bound search — tests `array[i] >= k` (or the
+// boundary's `> k`) against a non-decreasing array, so each outcome is a
+// pure function of the key's lower/upper-bound rank. The final leaf index
+// is monotone in k, so a sorted batch visits leaves left-to-right: one
+// gallop cursor over the routing boundaries, one per-leaf gallop cursor
+// over the slots (reset at each leaf change), and arithmetic replay of the
+// walk and search loops per key. (probes, notFound) are bit-identical to
+// the per-key reference.
+
+import (
+	"sort"
+
+	"cdfpoison/internal/index"
+)
+
+var (
+	_ index.BatchReader = (*Index)(nil)
+	_ index.BatchReader = (*snapshot)(nil)
+)
+
+// gallopUpper returns the smallest i in [from, len(a)) with a[i] > k,
+// assuming a is sorted and a[j] <= k for all j < from — GallopLower's
+// upper-bound twin, kept local because only the router walk needs it.
+func gallopUpper(a []int64, k int64, from int) int {
+	n := len(a)
+	if from >= n || a[from] > k {
+		return from
+	}
+	step := 1
+	for from+step < n && a[from+step] <= k {
+		step <<= 1
+	}
+	lo := from + step>>1 + 1
+	hi := from + step
+	if hi > n {
+		hi = n
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return a[lo+i] > k })
+}
+
+// routeReplay replays view.route arithmetically: u is the upper-bound rank
+// of k in v.lows (lows[j] > k ⟺ j >= u), j the clamped router prediction.
+func routeReplay(nNodes, j, u int) (leaf, probes int) {
+	for j > 0 {
+		probes++
+		if j >= u {
+			j--
+		} else {
+			break
+		}
+	}
+	for j+1 < nNodes {
+		probes++
+		if j+1 < u {
+			j++
+		} else {
+			break
+		}
+	}
+	return j, probes
+}
+
+// lowerBoundReplay replays node.lowerBound arithmetically: every slot
+// comparison `slots[i] >= k` is `i >= posL` (slots are non-decreasing with
+// gap copies), so the exponential and binary phases run on indices alone.
+func lowerBoundReplay(n, pred, posL int) (probes int) {
+	lo, hi := -1, n
+	probes++
+	if pred >= posL {
+		hi = pred
+		step := 1
+		for i := pred - 1; i >= 0; i -= step {
+			probes++
+			if i >= posL {
+				hi = i
+				step <<= 1
+			} else {
+				lo = i
+				break
+			}
+		}
+	} else {
+		lo = pred
+		step := 1
+		for i := pred + 1; i < n; i += step {
+			probes++
+			if i < posL {
+				lo = i
+				step <<= 1
+			} else {
+				hi = i
+				break
+			}
+		}
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		probes++
+		if mid >= posL {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return probes
+}
+
+func (v *view) probeSumSorted(sorted []int64) (probes int64, notFound int) {
+	cu := 0 // gallop cursor over v.lows (router upper bound)
+	lastLeaf := -1
+	posL := 0 // gallop cursor over the current leaf's slots
+	for _, k := range sorted {
+		leaf, rp := 0, 0
+		if len(v.nodes) > 1 {
+			cu = gallopUpper(v.lows, k, cu)
+			j := clampSlot(v.router.at(k), len(v.nodes))
+			leaf, rp = routeReplay(len(v.nodes), j, cu)
+		}
+		nd := v.nodes[leaf]
+		if leaf != lastLeaf {
+			lastLeaf, posL = leaf, 0
+		}
+		posL = index.GallopLower(nd.slots, k, posL)
+		n := len(nd.slots)
+		pred := clampSlot(nd.model.at(k), n)
+		p := rp + lowerBoundReplay(n, pred, posL)
+		found := false
+		if posL < n {
+			p++
+			found = nd.slots[posL] == k
+		}
+		probes += int64(p)
+		if !found {
+			notFound++
+		}
+	}
+	return probes, notFound
+}
+
+// ProbeSumSorted evaluates a sorted (non-decreasing) query batch against
+// the current state, bit-identical to ProbeSum on the same batch.
+func (x *Index) ProbeSumSorted(sorted []int64) (int64, int) { return x.v.probeSumSorted(sorted) }
+
+// ProbeSumSorted is the snapshot-side batch kernel.
+func (s *snapshot) ProbeSumSorted(sorted []int64) (int64, int) { return s.v.probeSumSorted(sorted) }

@@ -42,6 +42,11 @@ type Options struct {
 	// wall-clock knob. Key-set GENERATION always stays sequential so the
 	// RNG stream — and therefore every dataset — is worker-independent.
 	Workers int
+	// PerKeyEval disables the sorted-batch probe kernel (DESIGN.md §12) on
+	// the scenario eval paths and forces the classic per-key loop — the
+	// `lisbench -no-batch-eval` A/B switch. Every reported column is
+	// identical either way; only the EvalStats accounting moves.
+	PerKeyEval bool
 }
 
 func (o Options) fill() Options {
@@ -65,7 +70,20 @@ func (o Options) pool() *engine.Pool { return engine.New(o.Workers) }
 // the attack itself is the sweep's hot path (the small fig2-4 experiments
 // run one attack, so parallelism belongs inside it). Cell fan-out paths
 // instead keep inner attacks sequential to avoid nested oversubscription.
-func (o Options) coreOpts() []core.Option { return []core.Option{core.WithWorkers(o.Workers)} }
+func (o Options) coreOpts() []core.Option {
+	opts := []core.Option{core.WithWorkers(o.Workers)}
+	return append(opts, o.evalOpts()...)
+}
+
+// evalOpts forwards only the eval-path ablation switch — for sweep cells
+// whose inner attacks stay sequential (cell fan-out owns the pool) but
+// should still honor -no-batch-eval.
+func (o Options) evalOpts() []core.Option {
+	if o.PerKeyEval {
+		return []core.Option{core.WithPerKeyEval()}
+	}
+	return nil
+}
 
 // CellBox couples an experiment cell's identity with the distribution of its
 // observed ratio losses.

@@ -20,6 +20,9 @@ type OnlineCell struct {
 	// retrain mid-scenario absorbs buffered poison into the model).
 	FinalRatio float64
 	MaxRatio   float64
+	// Eval records which probe-eval path produced the cell's columns
+	// (sorted-batch kernel vs per-key loop, DESIGN.md §12).
+	Eval core.EvalStats
 }
 
 // OnlineSweepResult is the full online-scenario sweep ("-fig online" in
@@ -32,6 +35,9 @@ type OnlineSweepResult struct {
 	EpochsPerCell int
 	ArrivalsPct   float64 // honest arrivals per epoch, % of initial keys
 	Cells         []OnlineCell
+	// Eval aggregates the cells' probe-eval accounting (worker-independent:
+	// each cell's counts are deterministic and the fold is cell-ordered).
+	Eval core.EvalStats
 }
 
 // onlineShape returns the sweep parameters per scale: initial keys, epochs,
@@ -106,7 +112,7 @@ func OnlineSweep(opts Options) (OnlineSweepResult, error) {
 			EpochBudget: budget,
 			Policy:      sp.policy,
 			Arrivals:    arrivals,
-		})
+		}, opts.evalOpts()...)
 		if err != nil {
 			return OnlineCell{}, fmt.Errorf("bench: online cell policy=%s budget=%v%%: %w", sp.policy, sp.pct, err)
 		}
@@ -117,10 +123,16 @@ func OnlineSweep(opts Options) (OnlineSweepResult, error) {
 			Epochs:     res.Epochs,
 			FinalRatio: res.FinalRatio(),
 			MaxRatio:   res.MaxRatio(),
+			Eval:       res.Eval,
 		}, nil
 	})
 	if err != nil {
 		return OnlineSweepResult{}, err
+	}
+	var eval core.EvalStats
+	for _, c := range cells {
+		eval.BatchedKeys += c.Eval.BatchedKeys
+		eval.PerKeyKeys += c.Eval.PerKeyKeys
 	}
 	return OnlineSweepResult{
 		Keys:          n,
@@ -128,6 +140,7 @@ func OnlineSweep(opts Options) (OnlineSweepResult, error) {
 		EpochsPerCell: epochs,
 		ArrivalsPct:   arrivalsPct,
 		Cells:         cells,
+		Eval:          eval,
 	}, nil
 }
 

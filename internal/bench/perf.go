@@ -8,15 +8,17 @@ package bench
 // any optimization actually landed. PerfSweep measures a FIXED cell list
 // (attack × n × workers, identical at every Scale so reports from any two
 // runs can be compared record-by-record), and the report serializes to the
-// perf artifact (BENCH_PR9.json at the repository root — BENCH_PR8.json is
-// the previous trajectory point): the checked-in baseline CI replays
-// against (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale
-// only controls how long each cell is sampled, never what it runs.
+// perf artifact (BENCH_PR10.json at the repository root — BENCH_PR9.json is
+// the previous trajectory point; older points live under
+// testdata/bench-history/): the checked-in baseline CI replays against
+// (ComparePerf) and that EXPERIMENTS.md's perf table cites. Scale only
+// controls how long each cell is sampled, never what it runs.
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"cdfpoison/internal/core"
@@ -58,7 +60,7 @@ func (r PerfRecord) Key() string {
 }
 
 // PerfReport is the full sweep result, serialized to the perf artifact
-// (BENCH_PR9.json).
+// (BENCH_PR10.json).
 type PerfReport struct {
 	Schema     string       `json:"schema"`
 	Scale      string       `json:"scale"`
@@ -187,6 +189,52 @@ func perfCells() []perfCell {
 			}, core.WithWorkers(w))
 			return err
 		}},
+		// Epoch-eval cells: the probe evaluation the serving scenarios pay
+		// once per epoch, isolated from oracle and insert work, at the
+		// acceptance size n=1e5. The -batch rows run the sorted-batch kernel
+		// (DESIGN.md §12), the -perkey rows the classic per-key lookup loop
+		// on the SAME backend and batch; both produce identical totals, so
+		// perkey ns/op ÷ batch ns/op is the kernel's measured speedup
+		// (EXPERIMENTS.md's batch-probe table reads it off this report). The
+		// backends are built once per dataset — in the warm-up run, via
+		// perfEvalBackend — so the timed iterations measure ONLY the eval
+		// pass. Worker count is irrelevant here (one merged pass per side).
+		{attack: "online-eval-batch", n: 100_000, op: func(ks keys.Set, w int) error {
+			r, err := perfEvalBackend("online", ks)
+			if err != nil {
+				return err
+			}
+			p, nf := index.ProbeSumSorted(r, ks.Keys())
+			perfProbeSink += p + int64(nf)
+			return nil
+		}},
+		{attack: "online-eval-perkey", n: 100_000, op: func(ks keys.Set, w int) error {
+			r, err := perfEvalBackend("online", ks)
+			if err != nil {
+				return err
+			}
+			p, nf := r.ProbeSum(ks.Keys())
+			perfProbeSink += p + int64(nf)
+			return nil
+		}},
+		{attack: "serve-eval-batch", n: 100_000, op: func(ks keys.Set, w int) error {
+			r, err := perfEvalBackend("serve", ks)
+			if err != nil {
+				return err
+			}
+			p, nf := index.ProbeSumSorted(r, ks.Keys())
+			perfProbeSink += p + int64(nf)
+			return nil
+		}},
+		{attack: "serve-eval-perkey", n: 100_000, op: func(ks keys.Set, w int) error {
+			r, err := perfEvalBackend("serve", ks)
+			if err != nil {
+				return err
+			}
+			p, nf := r.ProbeSum(ks.Keys())
+			perfProbeSink += p + int64(nf)
+			return nil
+		}},
 		{attack: "online", n: 5_000, p: 100, op: func(ks keys.Set, w int) error {
 			arrivals := make([][]int64, 4)
 			arng := xrand.New(99)
@@ -202,6 +250,53 @@ func perfCells() []perfCell {
 			return err
 		}},
 	}
+}
+
+// perfProbeSink keeps the epoch-eval cells' results observable so the
+// compiler cannot elide the measured work.
+var perfProbeSink int64
+
+// perfEvalBackends caches the epoch-eval cells' backends per dataset, so
+// the build cost lands in the warm-up run and the timed iterations measure
+// only the eval pass. The key includes the dataset's backing array address:
+// a sweep over a different dataset never reuses a stale index.
+var perfEvalBackends sync.Map // string -> index.PointReader
+
+// perfEvalBackend builds (once) the reader an epoch-eval cell probes:
+// "online" is the dynamic index with a quarter-full delta buffer (the
+// merged base+buffer pass is the kernel's hardest case), "serve" a 4-way
+// sharded index's immutable snapshot (what measureServe evaluates).
+func perfEvalBackend(kind string, ks keys.Set) (index.PointReader, error) {
+	key := fmt.Sprintf("%s/%p", kind, ks.Keys())
+	if r, ok := perfEvalBackends.Load(key); ok {
+		return r.(index.PointReader), nil
+	}
+	var r index.PointReader
+	switch kind {
+	case "online":
+		idx, err := dynamic.New(ks, dynamic.ManualPolicy())
+		if err != nil {
+			return nil, err
+		}
+		step := (ks.Max() - ks.Min()) / 257
+		if step < 1 {
+			step = 1
+		}
+		for k := ks.Min() + 1; k < ks.Max(); k += step {
+			idx.Insert(k) // stays buffered under the manual policy
+		}
+		r = idx
+	case "serve":
+		idx, err := shard.New(ks, 4, dynamic.ManualPolicy())
+		if err != nil {
+			return nil, err
+		}
+		r = idx.Snapshot()
+	default:
+		return nil, fmt.Errorf("bench: unknown eval backend %q", kind)
+	}
+	perfEvalBackends.Store(key, r)
+	return r, nil
 }
 
 // PerfCellKeys returns the stable cell keys of the fixed sweep (both

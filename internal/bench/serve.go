@@ -25,7 +25,10 @@ type ServeCell struct {
 	MaxRatio       float64
 	MaxShardRatio  float64
 	FinalImbalance float64
-	Retrains       int
+	// Eval records which probe-eval path produced the cell's columns
+	// (sorted-batch kernel vs per-key loop, DESIGN.md §12).
+	Eval     core.EvalStats
+	Retrains int
 }
 
 // ServeSweepResult is the full serving sweep ("-fig serve" in lisbench):
@@ -38,6 +41,9 @@ type ServeSweepResult struct {
 	EpochsPerCell int
 	OpsPerEpoch   int
 	Cells         []ServeCell
+	// Eval aggregates the cells' probe-eval accounting (worker-independent:
+	// each cell's counts are deterministic and the fold is cell-ordered).
+	Eval core.EvalStats
 }
 
 // serveShape returns the sweep parameters per scale.
@@ -105,7 +111,7 @@ func ServeSweep(opts Options) (ServeSweepResult, error) {
 			// All cells share the same stream seed: a cell differs from its
 			// neighbours only in shard count or mix, never in luck.
 			Seed: opts.Seed,
-		})
+		}, opts.evalOpts()...)
 		if err != nil {
 			return ServeCell{}, fmt.Errorf("bench: serve cell shards=%d workload=%s: %w", sp.shards, sp.mix, err)
 		}
@@ -121,10 +127,16 @@ func ServeSweep(opts Options) (ServeSweepResult, error) {
 			MaxShardRatio:  res.MaxShardRatio(),
 			FinalImbalance: last.Imbalance,
 			Retrains:       res.Retrains,
+			Eval:           res.Eval,
 		}, nil
 	})
 	if err != nil {
 		return ServeSweepResult{}, err
+	}
+	var eval core.EvalStats
+	for _, c := range cells {
+		eval.BatchedKeys += c.Eval.BatchedKeys
+		eval.PerKeyKeys += c.Eval.PerKeyKeys
 	}
 	return ServeSweepResult{
 		Keys:          n,
@@ -132,6 +144,7 @@ func ServeSweep(opts Options) (ServeSweepResult, error) {
 		EpochsPerCell: epochs,
 		OpsPerEpoch:   opsPerEpoch,
 		Cells:         cells,
+		Eval:          eval,
 	}, nil
 }
 

@@ -1,0 +1,80 @@
+package btree
+
+// Sorted-batch probe kernel (index.BatchReader, DESIGN.md §12). Get's cost
+// decomposes per node: the in-node search is a no-early-exit lower-bound
+// binary search, so its comparison count is a pure function of (node key
+// count, landing index) — identical for every query key that lands on the
+// same partition. Walking the tree once with the sorted batch, partitioning
+// it at each node's keys (one gallop pass per node), charges each partition
+// its constant per-key node cost and recurses only into children that
+// actually receive queries. (probes, notFound) are bit-identical to the
+// per-key reference; the tree is visited in key order, touching each node
+// at most once.
+
+import "cdfpoison/internal/index"
+
+var _ index.BatchReader = (*Tree)(nil)
+
+// searchProbes replays node.search's comparison count for a key whose
+// lower-bound index in a node of m keys is i: the loop's outcome at mid is
+// (mid < i → go right), so the count depends only on (m, i).
+func searchProbes(m, i int) int {
+	p := 0
+	lo, hi := 0, m
+	for lo < hi {
+		mid := (lo + hi) / 2
+		p++
+		if mid < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p
+}
+
+// batchGet descends with the sorted query slice q, all of whose keys fall
+// strictly between this subtree's bounding node keys.
+func batchGet(n *node, q []int64, probes *int64, notFound *int) {
+	m := len(n.keys)
+	c := 0
+	for j := 0; j <= m; j++ {
+		e := len(q)
+		if j < m {
+			e = index.GallopLower(q, n.keys[j], c)
+		}
+		if e > c {
+			// q[c:e) lands between node keys j-1 and j: every key pays the
+			// same in-node search cost, then descends (or misses at a leaf).
+			*probes += int64(e-c) * int64(searchProbes(m, j))
+			if n.leaf() {
+				*notFound += e - c
+			} else {
+				batchGet(n.children[j], q[c:e], probes, notFound)
+			}
+		}
+		c = e
+		if j < m {
+			// The run equal to keys[j] is found at this node.
+			f := c
+			for f < len(q) && q[f] == n.keys[j] {
+				f++
+			}
+			if f > c {
+				*probes += int64(f-c) * int64(searchProbes(m, j))
+			}
+			c = f
+		}
+	}
+}
+
+// ProbeSumSorted evaluates a sorted (non-decreasing) query batch,
+// bit-identical to ProbeSum on the same batch. Snapshots are structural
+// clones (*Tree), so they serve the same kernel.
+func (t *Tree) ProbeSumSorted(sorted []int64) (probes int64, notFound int) {
+	if len(sorted) == 0 {
+		return 0, 0
+	}
+	batchGet(t.root, sorted, &probes, &notFound)
+	return probes, notFound
+}

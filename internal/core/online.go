@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"cdfpoison/internal/dynamic"
-	"cdfpoison/internal/engine"
 	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 )
@@ -153,6 +152,9 @@ type OnlineResult struct {
 	Retrains int
 	// Defense is the defense-plane accounting (zero when no defense armed).
 	Defense DefenseReport
+	// Eval reports which probe-evaluation path produced the probe columns
+	// (sorted-batch kernel by default, per-key under WithPerKeyEval).
+	Eval EvalStats
 }
 
 // FinalRatio returns the last epoch's loss ratio — the scenario's headline.
@@ -187,14 +189,18 @@ type onlineState struct {
 	victim index.Backend // receives arrivals AND poison
 	clean  index.Backend // counterfactual: arrivals only, same policy
 	legit  []int64       // honest workload: initial keys + accepted arrivals
+	pe     *probeEval    // sorted-workload cache + eval scratch, reused across epochs
 	ex     exec
 }
 
 // measure evaluates both indexes at an epoch boundary: model-vs-content MSE
 // (Stats().ContentLoss, so model staleness is visible) and the mean probe
-// cost of the honest workload. The probe scan fans out across the exec's
-// worker pool; Lookup is read-only, sums are integers, and chunks fold in
-// index order, so the result is byte-identical for any worker count.
+// cost of the honest workload. The workload is sorted once per growth step
+// (st.legit is append-only, so an unchanged length skips the sort) and fed
+// to the sorted-batch kernel in chunks across the exec's worker pool; the
+// kernel is bit-identical to the per-key reference and integer sums fold in
+// index order, so the result is byte-identical for any worker count AND for
+// the per-key path (WithPerKeyEval).
 func (st *onlineState) measure(rep *EpochReport) error {
 	cleanStats := st.clean.Stats()
 	victimStats := st.victim.Stats()
@@ -204,22 +210,11 @@ func (st *onlineState) measure(rep *EpochReport) error {
 	rep.PoisonedLoss = victimStats.ContentLoss
 	rep.RatioLoss = SafeRatio(rep.PoisonedLoss, rep.CleanLoss)
 
-	n := len(st.legit)
-	grain := engine.GrainForMin(n, st.ex.pool, endpointGrainFloor)
-	chunks, err := engine.MapChunks(st.ex.ctx, st.ex.pool, n, grain,
-		func(lo, hi int) (probeAgg, error) {
-			var a probeAgg
-			a.clean, _ = st.clean.ProbeSum(st.legit[lo:hi])
-			a.victim, _ = st.victim.ProbeSum(st.legit[lo:hi])
-			return a, nil
-		})
+	st.pe.refresh(st.legit)
+	n := len(st.pe.sorted)
+	total, err := st.pe.measurePair(st.ex, endpointGrainFloor, st.pe.sorted, st.clean, st.victim)
 	if err != nil {
 		return err
-	}
-	var total probeAgg
-	for _, a := range chunks {
-		total.clean += a.clean
-		total.victim += a.victim
 	}
 	if n > 0 {
 		rep.CleanProbes = float64(total.clean) / float64(n)
@@ -313,6 +308,7 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 		victim: vBack,
 		clean:  cBack,
 		legit:  append([]int64(nil), initial.Keys()...),
+		pe:     newProbeEval(),
 		ex:     newExec(execOpts),
 	}
 
@@ -389,6 +385,7 @@ func OnlinePoisonAttack(initial keys.Set, opts OnlineOptions, execOpts ...Option
 	// epochs >= 1 is validated, so the last report is always present; its
 	// cumulative retrain count is the scenario total (no extra Stats scan).
 	res.Retrains = res.Epochs[len(res.Epochs)-1].Retrains
+	res.Eval = st.pe.stats
 	ps, err := keys.NewStrict(allPoison)
 	if err != nil {
 		return OnlineResult{}, fmt.Errorf("core: online poison keys collide: %w", err)

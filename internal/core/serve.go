@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"cdfpoison/internal/dynamic"
-	"cdfpoison/internal/engine"
 	"cdfpoison/internal/index"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/shard"
@@ -153,6 +153,9 @@ type ServeResult struct {
 	CleanChurn  index.ChurnStats
 	// Defense is the defense-plane accounting (zero when no defense armed).
 	Defense DefenseReport
+	// Eval reports which probe-evaluation path produced the probe columns
+	// (sorted-batch kernel by default, per-key under WithPerKeyEval).
+	Eval EvalStats
 }
 
 // FinalRatio returns the last epoch's aggregate loss ratio.
@@ -261,6 +264,8 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 	atkSrc := opts.Defense.attackerSource()
 	var allPoison []int64
 	displaced := 0
+	pe := newProbeEval()
+	var reads []int64 // epoch read-key scratch, reused across epochs
 	for e := 0; e < opts.Epochs; e++ {
 		if err := ex.ctx.Err(); err != nil {
 			return ServeResult{}, err
@@ -268,7 +273,7 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 		rep := ServeEpochReport{Epoch: e + 1}
 		// 1. Honest traffic: one shared stream for both indexes, one tick
 		// per operation.
-		var reads []int64
+		reads = reads[:0]
 		for _, op := range gen.Ops(opts.OpsPerEpoch) {
 			tick(1)
 			if op.Read {
@@ -304,17 +309,21 @@ func ServeAttack(initial keys.Set, opts ServeOptions, execOpts ...Option) (Serve
 			victim.Retrain()
 			clean.Retrain()
 		}
-		// 4. Measurement.
+		// 4. Measurement. The read keys are only consumed by the probe
+		// evaluation and integer probe sums are order-invariant, so sorting
+		// them in place (the batch kernel's precondition) changes no column.
 		rep.PoisonTotal = len(allPoison)
 		rep.Displaced = displaced
 		rep.Stale = victim.IsStale()
-		if err := measureServe(&rep, vShard, cShard, victim, clean, reads, ex); err != nil {
+		slices.Sort(reads)
+		if err := measureServe(&rep, vShard, cShard, victim, clean, reads, pe, ex); err != nil {
 			return ServeResult{}, err
 		}
 		res.Epochs = append(res.Epochs, rep)
 	}
 	res.VictimChurn = victim.ChurnStats()
 	res.CleanChurn = clean.ChurnStats()
+	res.Eval = pe.stats
 	// Epochs >= 1 is validated, so the last report is always present; its
 	// cumulative retrain count is the scenario total (no extra Stats scan).
 	res.Retrains = res.Epochs[len(res.Epochs)-1].Retrains
@@ -334,10 +343,12 @@ const serveProbeGrainFloor = 256
 // admin-plane truth the operator's dashboards aggregate); probe columns
 // are measured against each pipeline's PUBLISHED read plane, captured once
 // as an immutable snapshot and then fanned across the worker pool in
-// chunks — snapshot lookups are pure reads on frozen state and the sums
-// are integers folded in chunk order, so any worker count produces
-// identical bytes, with no mutable state shared across workers at all.
-func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, vPipe, cPipe *index.Pipeline, reads []int64, ex exec) error {
+// chunks of the caller-sorted read batch — each chunk runs the sorted-batch
+// kernel (DESIGN.md §12), snapshot lookups are pure reads on frozen state,
+// and the sums are integers folded in chunk order, so any worker count (and
+// the per-key WithPerKeyEval path) produces identical bytes, with no
+// mutable state shared across workers at all.
+func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, vPipe, cPipe *index.Pipeline, reads []int64, pe *probeEval, ex exec) error {
 	// Per-shard stats are the expensive part (ContentLoss is an O(shard)
 	// scan); collect them once per side and fold the aggregates here with
 	// the same key-weighted arithmetic shard.Index.Stats uses, instead of
@@ -382,21 +393,9 @@ func measureServe(rep *ServeEpochReport, victim, clean *shard.Index, vPipe, cPip
 
 	n := len(reads)
 	vSnap, cSnap := vPipe.Snapshot(), cPipe.Snapshot()
-	grain := engine.GrainForMin(n, ex.pool, serveProbeGrainFloor)
-	chunks, err := engine.MapChunks(ex.ctx, ex.pool, n, grain,
-		func(lo, hi int) (probeAgg, error) {
-			var a probeAgg
-			a.clean, _ = cSnap.ProbeSum(reads[lo:hi])
-			a.victim, _ = vSnap.ProbeSum(reads[lo:hi])
-			return a, nil
-		})
+	total, err := pe.measurePair(ex, serveProbeGrainFloor, reads, cSnap, vSnap)
 	if err != nil {
 		return err
-	}
-	var total probeAgg
-	for _, a := range chunks {
-		total.clean += a.clean
-		total.victim += a.victim
 	}
 	rep.CleanProbeTotal = total.clean
 	rep.PoisonedProbeTotal = total.victim

@@ -12,7 +12,6 @@ import (
 	"fmt"
 
 	"cdfpoison/internal/dynamic"
-	"cdfpoison/internal/engine"
 	"cdfpoison/internal/keys"
 	"cdfpoison/internal/workload"
 )
@@ -71,6 +70,9 @@ type StaticResult struct {
 	// Mean lookup probes over the initial keys on both indexes.
 	CleanProbes, PoisonedProbes float64
 	ProbeRatio                  float64
+	// Eval reports which probe-evaluation path produced the columns above
+	// (sorted-batch kernel by default, per-key under WithPerKeyEval).
+	Eval EvalStats
 	// Defense is the defense-plane accounting (zero when no defense armed).
 	Defense DefenseReport
 }
@@ -167,24 +169,17 @@ func StaticAttack(initial keys.Set, opts StaticOptions, execOpts ...Option) (Sta
 	res.PoisonedLoss = vStats.ContentLoss
 	res.RatioLoss = SafeRatio(res.PoisonedLoss, res.CleanLoss)
 
+	// keys.Set stores its keys sorted and duplicate-free, so the initial
+	// workload already satisfies the batch kernel's precondition — no copy,
+	// no sort (DESIGN.md §12).
 	legit := initial.Keys()
 	n := len(legit)
-	grain := engine.GrainForMin(n, ex.pool, endpointGrainFloor)
-	chunks, err := engine.MapChunks(ex.ctx, ex.pool, n, grain,
-		func(lo, hi int) (probeAgg, error) {
-			var a probeAgg
-			a.clean, _ = cBack.ProbeSum(legit[lo:hi])
-			a.victim, _ = vBack.ProbeSum(legit[lo:hi])
-			return a, nil
-		})
+	pe := newProbeEval()
+	total, err := pe.measurePair(ex, endpointGrainFloor, legit, cBack, vBack)
 	if err != nil {
 		return StaticResult{}, err
 	}
-	var total probeAgg
-	for _, a := range chunks {
-		total.clean += a.clean
-		total.victim += a.victim
-	}
+	res.Eval = pe.stats
 	if n > 0 {
 		res.CleanProbes = float64(total.clean) / float64(n)
 		res.PoisonedProbes = float64(total.victim) / float64(n)

@@ -192,3 +192,11 @@ func (g *Guard) Snapshot() index.Snapshot { return g.backend.Snapshot() }
 func (g *Guard) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
 	return g.backend.ProbeSum(queryKeys)
 }
+
+// ProbeSumSorted forwards the sorted batch to the wrapped backend's batch
+// kernel (index.BatchReader), falling back to the per-key reference when
+// the backend has none — the guard screens writes, so the read plane's
+// bit-identity contract is entirely the backend's (DESIGN.md §12).
+func (g *Guard) ProbeSumSorted(sorted []int64) (probes int64, notFound int) {
+	return index.ProbeSumSorted(g.backend, sorted)
+}

@@ -391,32 +391,13 @@ func (x *Index) ProbeSum(queryKeys []int64) (probes int64, notFound int) {
 	return index.ProbeSum(x, queryKeys)
 }
 
-// probeSumGrainFloor keeps per-chunk work (a few hundred O(log n) lookups)
-// well above the engine's scheduling overhead.
-const probeSumGrainFloor = 256
-
-// ProbeSumParallel is ProbeSum with the batch fanned out across the pool in
-// contiguous chunks. Lookups are pure reads and the per-chunk sums are
-// integers folded in chunk order, so the result is byte-identical to the
-// sequential ProbeSum for any worker count — the §2 determinism contract.
+// ProbeSumParallel is the unsorted batch entry, kept for API compatibility.
+//
+// Deprecated: it now sorts a copy of the batch and runs the sorted-partition
+// kernel (ProbeSumSortedParallel) — callers that can sort once and reuse the
+// batch should call ProbeSumSortedParallel directly and skip the per-call
+// copy+sort. Probe totals and notFound counts are unchanged: integer sums
+// are order-invariant, so reordering the batch cannot change either.
 func (x *Index) ProbeSumParallel(ctx context.Context, pool *engine.Pool, queryKeys []int64) (probes int64, notFound int, err error) {
-	type agg struct {
-		probes   int64
-		notFound int
-	}
-	n := len(queryKeys)
-	grain := engine.GrainForMin(n, pool, probeSumGrainFloor)
-	chunks, err := engine.MapChunks(ctx, pool, n, grain, func(lo, hi int) (agg, error) {
-		var a agg
-		a.probes, a.notFound = x.ProbeSum(queryKeys[lo:hi])
-		return a, nil
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	for _, a := range chunks {
-		probes += a.probes
-		notFound += a.notFound
-	}
-	return probes, notFound, nil
+	return x.ProbeSumSortedParallel(ctx, pool, sortInto(nil, queryKeys))
 }
